@@ -1,0 +1,317 @@
+package apt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lut"
+	"repro/internal/platform"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// newRand is a tiny indirection so the facade never leaks math/rand types.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Options tunes a simulation run. The zero value (or nil) selects the
+// paper's model: the measured lookup table, 4 bytes per element,
+// concurrent-link transfers and no per-assignment scheduler overhead.
+type Options struct {
+	// ElemBytes is the size of one data element in bytes (default 4).
+	ElemBytes float64
+	// SerialTransfers makes transfers from multiple predecessors serialize
+	// instead of proceeding concurrently.
+	SerialTransfers bool
+	// SchedOverheadMs charges a fixed delay per assignment, modelling the
+	// scheduler-processing and scheduler-to-processor communication parts
+	// of the paper's λ.
+	SchedOverheadMs float64
+	// Arrivals optionally paces the stream: kernel k is invisible to the
+	// scheduler before Arrivals[k] milliseconds. Build schedules with
+	// PoissonArrivals or PeriodicArrivals, or supply custom times (one
+	// non-negative entry per kernel).
+	Arrivals []float64
+}
+
+// PoissonArrivals returns a streaming-arrival schedule for the workload:
+// kernels arrive in stream order separated by exponential gaps with the
+// given mean (milliseconds).
+func PoissonArrivals(w *Workload, meanGapMs float64, seed int64) ([]float64, error) {
+	return workload.PoissonArrivals(w.g, meanGapMs, seed)
+}
+
+// PeriodicArrivals returns a streaming-arrival schedule with a fixed gap
+// (milliseconds) between consecutive kernels.
+func PeriodicArrivals(w *Workload, gapMs float64) ([]float64, error) {
+	return workload.PeriodicArrivals(w.g, gapMs)
+}
+
+// KernelRun describes one kernel's lifecycle in a finished run. Times are
+// milliseconds since the run started.
+type KernelRun struct {
+	Kernel        int
+	Name          string
+	Proc          int
+	ProcName      string
+	ReadyMs       float64
+	ExecStartMs   float64
+	FinishMs      float64
+	LambdaMs      float64
+	TransferMs    float64
+}
+
+// ProcUse is one processor's time accounting.
+type ProcUse struct {
+	Proc     int
+	Name     string
+	Kernels  int
+	ExecMs   float64
+	XferMs   float64
+	IdleMs   float64
+}
+
+// AltStats reports how often APT used an alternative processor (zero for
+// other policies).
+type AltStats struct {
+	Assignments    int
+	AltAssignments int
+	ByKernel       map[string]int
+}
+
+// Result is everything a simulation reports.
+type Result struct {
+	Policy        string
+	MakespanMs    float64
+	LambdaTotalMs float64
+	LambdaAvgMs   float64
+	LambdaStdMs   float64
+	Kernels       []KernelRun
+	Procs         []ProcUse
+	Alt           AltStats
+
+	res *sim.Result
+	sys *platform.System
+	wl  *Workload
+}
+
+// Run simulates the workload on the machine under the policy and returns
+// the metrics. A nil opts selects the defaults.
+func Run(w *Workload, m *Machine, p Policy, opts *Options) (*Result, error) {
+	if w == nil || m == nil {
+		return nil, fmt.Errorf("apt: Run requires a workload and a machine")
+	}
+	if opts == nil {
+		opts = &Options{}
+	}
+	mode := sim.TransferMax
+	if opts.SerialTransfers {
+		mode = sim.TransferSum
+	}
+	costs, err := sim.PrepareCosts(w.g, m.sys, lut.Paper(), sim.CostConfig{
+		ElemBytes: opts.ElemBytes,
+		Mode:      mode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pol, err := p.instantiate()
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(costs, pol, sim.Options{
+		SchedOverheadMs: opts.SchedOverheadMs,
+		ArrivalTimes:    opts.Arrivals,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Validate(w.g, m.sys); err != nil {
+		return nil, fmt.Errorf("apt: internal error, invalid schedule: %w", err)
+	}
+	out := &Result{
+		Policy:        res.Policy,
+		MakespanMs:    res.MakespanMs,
+		LambdaTotalMs: res.Lambda.TotalMs,
+		LambdaAvgMs:   res.Lambda.AvgMs,
+		LambdaStdMs:   res.Lambda.StdMs,
+		res:           res,
+		sys:           m.sys,
+		wl:            w,
+	}
+	for i := range res.Placements {
+		pl := res.Placements[i]
+		out.Kernels = append(out.Kernels, KernelRun{
+			Kernel:      int(pl.Kernel),
+			Name:        w.g.Kernel(pl.Kernel).Name,
+			Proc:        int(pl.Proc),
+			ProcName:    m.sys.Proc(pl.Proc).Name,
+			ReadyMs:     pl.Ready,
+			ExecStartMs: pl.ExecStart,
+			FinishMs:    pl.Finish,
+			LambdaMs:    pl.Lambda(),
+			TransferMs:  pl.ExecStart - pl.TransferStart,
+		})
+	}
+	for _, st := range res.ProcStats {
+		out.Procs = append(out.Procs, ProcUse{
+			Proc:    int(st.Proc),
+			Name:    m.sys.Proc(st.Proc).Name,
+			Kernels: st.Kernels,
+			ExecMs:  st.ExecMs,
+			XferMs:  st.XferMs,
+			IdleMs:  st.IdleMs,
+		})
+	}
+	if a, ok := pol.(*core.APT); ok {
+		s := a.Stats()
+		out.Alt = AltStats{
+			Assignments:    s.Assignments,
+			AltAssignments: s.AltAssignments,
+			ByKernel:       s.ByKernel,
+		}
+	} else {
+		out.Alt.ByKernel = map[string]int{}
+	}
+	return out, nil
+}
+
+// Gantt renders the schedule as a time-ordered event log.
+func (r *Result) Gantt() string {
+	var sb strings.Builder
+	if err := report.Gantt(&sb, r.res, r.wl.g, r.sys); err != nil {
+		return fmt.Sprintf("gantt error: %v", err)
+	}
+	return sb.String()
+}
+
+// Utilisation renders per-processor busy/transfer/idle accounting.
+func (r *Result) Utilisation() string {
+	var sb strings.Builder
+	if err := report.Utilisation(&sb, r.res, r.sys); err != nil {
+		return fmt.Sprintf("utilisation error: %v", err)
+	}
+	return sb.String()
+}
+
+// ChromeTrace writes the schedule in Chrome's trace-event format; load the
+// output in chrome://tracing or https://ui.perfetto.dev to inspect it.
+func (r *Result) ChromeTrace(w io.Writer) error {
+	return report.WriteChromeTrace(w, r.res, r.wl.g, r.sys)
+}
+
+// EnergyJ estimates the schedule's total energy in joules under the given
+// active/idle power draws per processor kind. A nil model selects
+// representative defaults for the paper's CPU/GPU/FPGA classes (the thesis
+// motivates power efficiency but reports no power numbers; see
+// platform.DefaultPowerModel).
+func (r *Result) EnergyJ(model *PowerModel) (float64, error) {
+	pm := platform.DefaultPowerModel()
+	if model != nil {
+		pm = platform.PowerModel{ActiveW: map[platform.Kind]float64{}, IdleW: map[platform.Kind]float64{}}
+		for k, v := range model.ActiveW {
+			pm.ActiveW[platform.Kind(k)] = v
+		}
+		for k, v := range model.IdleW {
+			pm.IdleW[platform.Kind(k)] = v
+		}
+	}
+	if err := pm.Validate(r.sys); err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, st := range r.res.ProcStats {
+		kind := r.sys.KindOf(st.Proc)
+		total += pm.EnergyJ(kind, st.ExecMs+st.XferMs, st.IdleMs)
+	}
+	return total, nil
+}
+
+// PowerModel assigns watt draws per processor kind for EnergyJ.
+type PowerModel struct {
+	ActiveW map[ProcKind]float64
+	IdleW   map[ProcKind]float64
+}
+
+// TuneResult is one evaluated candidate of TuneAlpha.
+type TuneResult struct {
+	Alpha      float64
+	MakespanMs float64
+}
+
+// TuneAlpha sweeps candidate flexibility factors over calibration
+// workloads on the machine and returns the α with the lowest mean
+// makespan, plus every evaluated point. Nil candidates selects a default
+// grid spanning 1–32. This operationalises the thesis's conclusion that
+// the threshold must be tuned to the degree of heterogeneity of the
+// system.
+func TuneAlpha(calibration []*Workload, m *Machine, candidates []float64, opts *Options) (float64, []TuneResult, error) {
+	if m == nil {
+		return 0, nil, fmt.Errorf("apt: TuneAlpha requires a machine")
+	}
+	if opts == nil {
+		opts = &Options{}
+	}
+	mode := sim.TransferMax
+	if opts.SerialTransfers {
+		mode = sim.TransferSum
+	}
+	var costs []*sim.Costs
+	for i, w := range calibration {
+		if w == nil {
+			return 0, nil, fmt.Errorf("apt: calibration workload %d is nil", i)
+		}
+		c, err := sim.PrepareCosts(w.g, m.sys, lut.Paper(), sim.CostConfig{
+			ElemBytes: opts.ElemBytes,
+			Mode:      mode,
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		costs = append(costs, c)
+	}
+	best, points, err := core.TuneAlpha(costs, candidates, sim.Options{SchedOverheadMs: opts.SchedOverheadMs})
+	if err != nil {
+		return 0, nil, err
+	}
+	out := make([]TuneResult, len(points))
+	for i, p := range points {
+		out[i] = TuneResult{Alpha: p.Alpha, MakespanMs: p.MakespanMs}
+	}
+	return best, out, nil
+}
+
+// Replay returns a policy that re-applies a previous result's placement
+// decisions while timing is recomputed — what-if analysis across machines
+// (same processor count), element sizes or transfer modes.
+func Replay(source *Result) Policy {
+	return Policy{name: "REPLAY", replaySource: source}
+}
+
+// Compare runs every given policy on the same workload and machine and
+// returns results in the same order.
+func Compare(w *Workload, m *Machine, policies []Policy, opts *Options) ([]*Result, error) {
+	out := make([]*Result, len(policies))
+	for i, p := range policies {
+		res, err := Run(w, m, p, opts)
+		if err != nil {
+			return nil, fmt.Errorf("apt: policy %s: %w", p.Name(), err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// KernelNames lists the kernels available in the paper's lookup table,
+// with their admissible data sizes.
+func KernelNames() map[string][]int64 {
+	t := lut.Paper()
+	out := map[string][]int64{}
+	for _, k := range t.Kernels() {
+		out[k] = t.Sizes(k)
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package apt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTuneAlphaFacade(t *testing.T) {
+	var cal []*Workload
+	for i := 0; i < 3; i++ {
+		w, err := GenerateWorkload(Type1, 50+10*i, int64(20170301+i*1000003))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cal = append(cal, w)
+	}
+	m := PaperMachine(4)
+	best, points, err := TuneAlpha(cal, m, []float64{1.5, 4, 64}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 4 {
+		t.Errorf("best α = %v, want 4", best)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[1].MakespanMs >= points[0].MakespanMs {
+		t.Errorf("no improvement at α=4: %+v", points)
+	}
+}
+
+func TestTuneAlphaFacadeValidation(t *testing.T) {
+	w, _ := GenerateWorkload(Type1, 10, 1)
+	if _, _, err := TuneAlpha([]*Workload{w}, nil, nil, nil); err == nil {
+		t.Error("nil machine accepted")
+	}
+	if _, _, err := TuneAlpha([]*Workload{nil}, PaperMachine(4), nil, nil); err == nil {
+		t.Error("nil workload accepted")
+	}
+	if _, _, err := TuneAlpha(nil, PaperMachine(4), nil, nil); err == nil {
+		t.Error("empty calibration accepted")
+	}
+}
+
+func TestReplayFacade(t *testing.T) {
+	w, err := GenerateWorkload(Type2, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := PaperMachine(4)
+	orig, err := Run(w, slow, APT(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical environment: identical makespan.
+	same, err := Run(w, slow, Replay(orig), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(same.MakespanMs-orig.MakespanMs) > 1e-6 {
+		t.Errorf("replay makespan %v != original %v", same.MakespanMs, orig.MakespanMs)
+	}
+	if same.Policy != "Replay(APT)" {
+		t.Errorf("policy = %q", same.Policy)
+	}
+	// What-if: faster links, same decisions.
+	fast := PaperMachine(8)
+	whatIf, err := Run(w, fast, Replay(orig), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whatIf.MakespanMs > orig.MakespanMs+1e-6 {
+		t.Errorf("faster links slower: %v vs %v", whatIf.MakespanMs, orig.MakespanMs)
+	}
+	// Replay without a source errors.
+	if _, err := Run(w, slow, Replay(nil), nil); err == nil {
+		t.Error("nil replay source accepted")
+	}
+}

@@ -1,0 +1,151 @@
+// Command sweep explores APT's parameter space beyond the paper's grid:
+// a dense α sweep at multiple transfer rates, run in parallel, reporting
+// suite-average makespan and λ per point plus the empirical thresholdbrk
+// (the α minimising average makespan — the bottom of the paper's valley).
+//
+// Usage:
+//
+//	sweep -type 2 -alphas 1,1.5,2,3,4,6,8,12,16,24,32 -rates 1,4,8,16
+//	sweep -type 1 -policy apt-r    # sweep the future-work variant
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/apt"
+)
+
+func main() {
+	var (
+		typ     = flag.Int("type", 1, "DFG type: 1 or 2")
+		alphas  = flag.String("alphas", "1,1.5,2,3,4,6,8,12,16,24,32", "comma-separated α values")
+		rates   = flag.String("rates", "4,8", "comma-separated link rates in GB/s")
+		polName = flag.String("policy", "apt", "apt or apt-r")
+		seed    = flag.Int64("seed", 20170301, "workload suite seed")
+		sizes   = flag.String("sizes", "46,58,50,73,69,81,125,93,132,157", "kernel counts of the suite graphs")
+	)
+	flag.Parse()
+	if err := run(*typ, *alphas, *rates, *polName, *seed, *sizes); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+type point struct {
+	rate, alpha      float64
+	makespan, lambda float64
+}
+
+func run(typ int, alphaCSV, rateCSV, polName string, seed int64, sizeCSV string) error {
+	alphas, err := parseFloats(alphaCSV)
+	if err != nil {
+		return fmt.Errorf("alphas: %w", err)
+	}
+	rates, err := parseFloats(rateCSV)
+	if err != nil {
+		return fmt.Errorf("rates: %w", err)
+	}
+	sizesF, err := parseFloats(sizeCSV)
+	if err != nil {
+		return fmt.Errorf("sizes: %w", err)
+	}
+
+	// Pre-generate the suite once; runs share the graphs read-only.
+	var workloads []*apt.Workload
+	for i, sz := range sizesF {
+		w, err := apt.GenerateWorkload(apt.GraphType(typ), int(sz), seed+int64(i)*1_000_003)
+		if err != nil {
+			return err
+		}
+		workloads = append(workloads, w)
+	}
+
+	// Fan the (rate, alpha) grid across workers.
+	var points []point
+	for _, r := range rates {
+		for _, a := range alphas {
+			points = append(points, point{rate: r, alpha: a})
+		}
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	errCh := make(chan error, len(points))
+	for i := range points {
+		wg.Add(1)
+		go func(p *point) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pol, err := apt.ParsePolicy(polName, p.alpha, 1)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			m := apt.PaperMachine(p.rate)
+			var mkSum, lamSum float64
+			for _, w := range workloads {
+				res, err := apt.Run(w, m, pol, nil)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				mkSum += res.MakespanMs
+				lamSum += res.LambdaTotalMs
+			}
+			p.makespan = mkSum / float64(len(workloads))
+			p.lambda = lamSum / float64(len(workloads))
+		}(&points[i])
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return err
+	}
+
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].rate != points[j].rate {
+			return points[i].rate < points[j].rate
+		}
+		return points[i].alpha < points[j].alpha
+	})
+	fmt.Printf("%-8s %-8s %-16s %-16s\n", "rate", "alpha", "avg makespan ms", "avg lambda ms")
+	bestPerRate := map[float64]point{}
+	for _, p := range points {
+		fmt.Printf("%-8g %-8g %-16.3f %-16.3f\n", p.rate, p.alpha, p.makespan, p.lambda)
+		if b, ok := bestPerRate[p.rate]; !ok || p.makespan < b.makespan {
+			bestPerRate[p.rate] = p
+		}
+	}
+	fmt.Println()
+	for _, r := range rates {
+		b := bestPerRate[r]
+		fmt.Printf("thresholdbrk at %g GB/s: α = %g (avg makespan %.3f ms)\n", r, b.alpha, b.makespan)
+	}
+	return nil
+}
+
+func parseFloats(csv string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

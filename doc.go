@@ -1,0 +1,10 @@
+// Package repro reproduces "Alternative Processor within Threshold:
+// Flexible Scheduling on Heterogeneous Systems" (S. S. Karia, M.S. thesis,
+// Rochester Institute of Technology, March 2017).
+//
+// The public API lives in repro/apt; the simulator, policies and paper
+// experiment harness live under repro/internal. The benchmarks in this
+// directory regenerate every table and figure of the thesis's evaluation
+// chapter; see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-versus-measured results.
+package repro

@@ -1,0 +1,66 @@
+// Custom platform: the library is not limited to the paper's one-of-each
+// system. This example builds an asymmetric cluster node — two CPUs, two
+// GPUs and one FPGA, with a fast NVLink-style connection between the GPUs
+// and slower PCIe elsewhere — and shows how extra processor instances
+// change the scheduling picture: MET's weakness (waiting for the single
+// best device) fades when best-kind devices are duplicated, and APT's
+// advantage concentrates on the kernels whose best device is still unique.
+//
+//	go run ./examples/custom-platform
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/apt"
+)
+
+func build(gpus int) (*apt.Machine, error) {
+	mb := apt.NewMachine()
+	mb.AddProc(apt.CPU, "cpu0")
+	mb.AddProc(apt.CPU, "cpu1")
+	var gpuIDs []int
+	for i := 0; i < gpus; i++ {
+		gpuIDs = append(gpuIDs, mb.AddProc(apt.GPU, fmt.Sprintf("gpu%d", i)))
+	}
+	mb.AddProc(apt.FPGA, "fpga0")
+	mb.UniformRate(4)
+	// GPU-to-GPU traffic rides a much faster direct link.
+	for i := 0; i < len(gpuIDs); i++ {
+		for j := i + 1; j < len(gpuIDs); j++ {
+			mb.LinkRate(gpuIDs[i], gpuIDs[j], 25)
+		}
+	}
+	return mb.Build()
+}
+
+func main() {
+	wl, err := apt.GenerateWorkload(apt.Type2, 90, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, gpus := range []int{1, 2} {
+		machine, err := build(gpus)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", machine)
+		for _, pol := range []apt.Policy{apt.MET(1), apt.APT(4), apt.HEFT()} {
+			res, err := apt.Run(wl, machine, pol, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			extra := ""
+			if res.Alt.Assignments > 0 {
+				extra = fmt.Sprintf("   (%d alternative assignments)", res.Alt.AltAssignments)
+			}
+			fmt.Printf("  %-5s makespan %12.3f ms%s\n", res.Policy, res.MakespanMs, extra)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Duplicating the GPU narrows the MET-vs-APT gap: waiting for \"the\"")
+	fmt.Println("best processor is cheap when there are two of them. APT still wins by")
+	fmt.Println("rerouting the kernels whose best device remains contended.")
+}

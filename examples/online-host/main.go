@@ -1,0 +1,85 @@
+// Online host: the APT rule applied to real work at runtime, not in
+// simulation. A host process dispatches a burst of mixed tasks across
+// three worker "processors" whose relative speeds mirror the paper's
+// CPU/GPU/FPGA lookup table (scaled down to microseconds so the demo runs
+// instantly). Compare α=1 (MET-style strict waiting) against α=4: the
+// flexible scheduler finishes the burst faster by overflowing contended
+// work onto alternative workers.
+//
+//	go run ./examples/online-host
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/online"
+)
+
+// taskKind mirrors a lookup-table row: estimated cost per processor in
+// milliseconds (also used as the simulated execution sleep).
+type taskKind struct {
+	name string
+	est  []float64 // CPU, GPU, FPGA
+}
+
+var kinds = []taskKind{
+	{"matmul", []float64{26, 0.1, 95}}, // GPU-dominant, like the paper's matmul
+	{"nw", []float64{1.1, 1.5, 4.0}},   // CPU-best with a close GPU alternative
+	{"bfs", []float64{3.3, 1.7, 1.1}},  // FPGA-best with a close GPU alternative
+	{"cd", []float64{1.7, 0.3, 0.01}},  // FPGA-dominant
+}
+
+func runBurst(alpha float64, tasks int) (time.Duration, online.Stats, error) {
+	s, err := online.New(3, alpha)
+	if err != nil {
+		return 0, online.Stats{}, err
+	}
+	s.Start()
+	defer s.Close()
+
+	start := time.Now()
+	var handles []*online.Handle
+	for i := 0; i < tasks; i++ {
+		k := kinds[i%len(kinds)]
+		h, err := s.Submit(online.Task{
+			Name:  fmt.Sprintf("%s-%d", k.name, i),
+			EstMs: k.est,
+			Run: func(ctx context.Context, p online.ProcID) error {
+				// Simulate device execution: sleep the estimated time.
+				select {
+				case <-time.After(time.Duration(k.est[p] * float64(time.Millisecond))):
+					return nil
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			},
+		})
+		if err != nil {
+			return 0, online.Stats{}, err
+		}
+		handles = append(handles, h)
+	}
+	for _, h := range handles {
+		if res := <-h.Done; res.Err != nil {
+			return 0, online.Stats{}, res.Err
+		}
+	}
+	return time.Since(start), s.Stats(), nil
+}
+
+func main() {
+	const tasks = 40
+	for _, alpha := range []float64{1, 4, 16} {
+		elapsed, stats, err := runBurst(alpha, tasks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("α=%-3g %d tasks in %8.1f ms  (alternative assignments: %d, per-proc %v)\n",
+			alpha, tasks, float64(elapsed.Microseconds())/1000, stats.AltAssignments, stats.PerProc)
+	}
+	fmt.Println("\nα=1 waits for each task's best worker (MET); larger α overflows")
+	fmt.Println("contended work within the threshold, shortening the burst makespan.")
+}

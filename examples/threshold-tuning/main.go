@@ -1,0 +1,92 @@
+// Threshold tuning: sweep APT's flexibility factor α to locate the
+// "valley" the thesis describes — makespan falls as flexibility grows,
+// bottoms out at thresholdbrk, then rises again as APT starts settling for
+// processors that are too slow. The right α depends on the degree of
+// heterogeneity of the system, which this example demonstrates by running
+// the same sweep on a second machine whose links are ten times slower.
+//
+//	go run ./examples/threshold-tuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/apt"
+)
+
+var alphas = []float64{1, 1.5, 2, 3, 4, 6, 8, 12, 16, 32}
+
+func sweep(wls []*apt.Workload, machine *apt.Machine) ([]float64, float64) {
+	avg := make([]float64, len(alphas))
+	for i, a := range alphas {
+		var sum float64
+		for _, wl := range wls {
+			res, err := apt.Run(wl, machine, apt.APT(a), nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sum += res.MakespanMs
+		}
+		avg[i] = sum / float64(len(wls))
+	}
+	best := 0
+	for i := range avg {
+		if avg[i] < avg[best] {
+			best = i
+		}
+	}
+	return avg, alphas[best]
+}
+
+func chart(avg []float64) {
+	max := 0.0
+	for _, v := range avg {
+		if v > max {
+			max = v
+		}
+	}
+	for i, v := range avg {
+		bar := strings.Repeat("#", int(v/max*50))
+		fmt.Printf("  α=%-5g %-50s %.0f ms\n", alphas[i], bar, v)
+	}
+}
+
+func main() {
+	// Ten Type-1 workloads of mixed sizes.
+	var wls []*apt.Workload
+	for i, n := range []int{46, 58, 50, 73, 69, 81, 125, 93, 132, 157} {
+		wl, err := apt.GenerateWorkload(apt.Type1, n, int64(20170301+i*1000003))
+		if err != nil {
+			log.Fatal(err)
+		}
+		wls = append(wls, wl)
+	}
+
+	fmt.Println("paper machine (4 GB/s links):")
+	avg, brk := sweep(wls, apt.PaperMachine(4))
+	chart(avg)
+	fmt.Printf("  thresholdbrk ≈ α=%g\n\n", brk)
+
+	fmt.Println("slow interconnect (0.4 GB/s links):")
+	slow, err := buildSlowMachine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	avgSlow, brkSlow := sweep(wls, slow)
+	chart(avgSlow)
+	fmt.Printf("  thresholdbrk ≈ α=%g\n", brkSlow)
+	fmt.Println("\nSlower links make alternative processors more expensive to feed,")
+	fmt.Println("shifting the optimum flexibility — α must be tuned per system, as the")
+	fmt.Println("thesis concludes.")
+}
+
+func buildSlowMachine() (*apt.Machine, error) {
+	mb := apt.NewMachine()
+	mb.AddProc(apt.CPU, "")
+	mb.AddProc(apt.GPU, "")
+	mb.AddProc(apt.FPGA, "")
+	mb.UniformRate(0.4)
+	return mb.Build()
+}

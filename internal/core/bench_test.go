@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/lut"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func benchCosts(b *testing.B, typ workload.GraphType) *sim.Costs {
+	b.Helper()
+	g := workload.MustSuite(typ, workload.DefaultSuiteSeed)[9] // 157 kernels
+	c, err := sim.PrepareCosts(g, platform.PaperSystem(4), lut.Paper(), sim.CostConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkRunAPT measures a full APT simulation of the largest suite
+// graph — the end-to-end cost of the paper's contribution.
+func BenchmarkRunAPT(b *testing.B) {
+	c := benchCosts(b, workload.Type2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(c, New(4), sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAPTR measures the future-work variant on the same workload.
+func BenchmarkRunAPTR(b *testing.B) {
+	c := benchCosts(b, workload.Type2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(c, NewR(4), sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAPTSelectWide stresses the per-invocation Select cost on a wide
+// dependency-free level (every kernel ready at once).
+func BenchmarkAPTSelectWide(b *testing.B) {
+	c := benchCosts(b, workload.Type1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(c, New(4), sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

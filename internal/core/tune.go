@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// DefaultTuneAlphas is the candidate grid TuneAlpha uses when none is
+// given: the paper's sweep plus intermediate points.
+var DefaultTuneAlphas = []float64{1, 1.5, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+
+// TunePoint is one evaluated candidate.
+type TunePoint struct {
+	Alpha      float64
+	MakespanMs float64 // mean across the calibration workloads
+}
+
+// TuneAlpha locates the flexibility factor with the lowest mean makespan
+// over a set of calibration workloads — the thesis's conclusion in
+// executable form ("the threshold must be carefully tuned in order to
+// attain performance improvements... the degree of flexibility will affect
+// the efficiency depending highly on the degree of heterogeneity of the
+// system").
+//
+// Each calibration workload is given as a prepared cost oracle; candidates
+// default to DefaultTuneAlphas. The returned points are in candidate order
+// and the best α is the grid minimiser (ties to the smaller α, preferring
+// stricter thresholds). Simulation cost is |candidates| × |workloads|
+// engine runs — milliseconds for paper-scale inputs.
+func TuneAlpha(calibration []*sim.Costs, candidates []float64, opt sim.Options) (float64, []TunePoint, error) {
+	if len(calibration) == 0 {
+		return 0, nil, fmt.Errorf("core: TuneAlpha needs at least one calibration workload")
+	}
+	if len(candidates) == 0 {
+		candidates = DefaultTuneAlphas
+	}
+	points := make([]TunePoint, 0, len(candidates))
+	bestIdx := -1
+	for _, a := range candidates {
+		if a < 1 {
+			return 0, nil, fmt.Errorf("core: candidate α %v < 1", a)
+		}
+		var total float64
+		for _, c := range calibration {
+			res, err := sim.Run(c, New(a), opt)
+			if err != nil {
+				return 0, nil, fmt.Errorf("core: tuning at α=%v: %w", a, err)
+			}
+			total += res.MakespanMs
+		}
+		points = append(points, TunePoint{Alpha: a, MakespanMs: total / float64(len(calibration))})
+		if bestIdx < 0 || points[len(points)-1].MakespanMs < points[bestIdx].MakespanMs {
+			bestIdx = len(points) - 1
+		}
+	}
+	return points[bestIdx].Alpha, points, nil
+}

@@ -1,0 +1,367 @@
+// Package dfg represents the dataflow graphs (DFGs) that the scheduler
+// consumes: directed acyclic graphs whose vertices are kernels and whose
+// edges are data/computational dependencies (paper §2.5.1, G = (V, E)).
+//
+// Graphs are built with a Builder and immutable afterwards, which lets the
+// simulator and the policies share one graph across goroutine-parallel
+// experiment sweeps without copying.
+package dfg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KernelID identifies a kernel within one Graph. IDs are dense from 0 in
+// insertion order, which for the paper's workloads is also the stream
+// ("first-come, first-serve") arrival order that dynamic policies see.
+type KernelID int
+
+// Kernel is one schedulable unit of computation (paper Figure 2: an
+// application decomposes into kernels; each kernel follows a dwarf's
+// computation/communication pattern).
+type Kernel struct {
+	ID KernelID
+	// Name is the canonical kernel name used to key the lookup table
+	// (e.g. "matmul", "bfs").
+	Name string
+	// Dwarf is the Berkeley-dwarf class, informational only.
+	Dwarf string
+	// DataElems is the input problem size in elements; together with Name it
+	// keys the execution-time lookup.
+	DataElems int64
+	// OutElems is the number of elements the kernel produces and must ship
+	// to each successor on a different processor. The thesis does not model
+	// output sizes separately from input sizes, so builders default this to
+	// DataElems; it is exposed for extensions.
+	OutElems int64
+	// App optionally tags which application in the stream this kernel
+	// belongs to, for reporting.
+	App int
+}
+
+// Graph is an immutable DAG of kernels.
+type Graph struct {
+	kernels []Kernel
+	succs   [][]KernelID
+	preds   [][]KernelID
+	edges   int
+}
+
+// NumKernels returns the number of vertices.
+func (g *Graph) NumKernels() int { return len(g.kernels) }
+
+// NumEdges returns the number of dependency edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Kernel returns the kernel with the given ID. It panics on out-of-range
+// IDs, which only arise from programming errors.
+func (g *Graph) Kernel(id KernelID) Kernel {
+	if id < 0 || int(id) >= len(g.kernels) {
+		panic(fmt.Sprintf("dfg: kernel id %d out of range [0,%d)", id, len(g.kernels)))
+	}
+	return g.kernels[id]
+}
+
+// Kernels returns all kernels in ID order; the slice is shared and must not
+// be modified.
+func (g *Graph) Kernels() []Kernel { return g.kernels }
+
+// Succs returns the successors of id; shared slice, do not modify.
+func (g *Graph) Succs(id KernelID) []KernelID { return g.succs[id] }
+
+// Preds returns the predecessors of id; shared slice, do not modify.
+func (g *Graph) Preds(id KernelID) []KernelID { return g.preds[id] }
+
+// InDegree returns the number of dependencies of id.
+func (g *Graph) InDegree(id KernelID) int { return len(g.preds[id]) }
+
+// OutDegree returns the number of dependents of id.
+func (g *Graph) OutDegree(id KernelID) int { return len(g.succs[id]) }
+
+// Entries returns all kernels with no predecessors, in ID order.
+func (g *Graph) Entries() []KernelID {
+	var out []KernelID
+	for id := range g.kernels {
+		if len(g.preds[id]) == 0 {
+			out = append(out, KernelID(id))
+		}
+	}
+	return out
+}
+
+// Exits returns all kernels with no successors, in ID order.
+func (g *Graph) Exits() []KernelID {
+	var out []KernelID
+	for id := range g.kernels {
+		if len(g.succs[id]) == 0 {
+			out = append(out, KernelID(id))
+		}
+	}
+	return out
+}
+
+// HasEdge reports whether the dependency u -> v exists.
+func (g *Graph) HasEdge(u, v KernelID) bool {
+	for _, s := range g.succs[u] {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TopoOrder returns a deterministic topological order: among ready
+// vertices, smaller IDs first (Kahn's algorithm with an ordered frontier).
+// The graph is acyclic by construction, so this never fails.
+func (g *Graph) TopoOrder() []KernelID {
+	n := len(g.kernels)
+	indeg := make([]int, n)
+	for id := range g.kernels {
+		indeg[id] = len(g.preds[id])
+	}
+	// frontier kept sorted ascending; n is small (hundreds) so an O(n^2)
+	// ordered insert is fine and keeps the order deterministic.
+	var frontier []KernelID
+	for id := 0; id < n; id++ {
+		if indeg[id] == 0 {
+			frontier = append(frontier, KernelID(id))
+		}
+	}
+	order := make([]KernelID, 0, n)
+	for len(frontier) > 0 {
+		u := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, u)
+		for _, v := range g.succs[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				i := sort.Search(len(frontier), func(i int) bool { return frontier[i] >= v })
+				frontier = append(frontier, 0)
+				copy(frontier[i+1:], frontier[i:])
+				frontier[i] = v
+			}
+		}
+	}
+	return order
+}
+
+// Levels decomposes the graph into dependency levels: level 0 holds the
+// entry kernels, level k the kernels all of whose predecessors are in
+// levels < k with at least one in level k-1. Useful for describing the
+// paper's Type-1 graphs ("level-1" of n-1 parallel kernels).
+func (g *Graph) Levels() [][]KernelID {
+	level := make([]int, len(g.kernels))
+	maxLevel := 0
+	for _, id := range g.TopoOrder() {
+		l := 0
+		for _, p := range g.preds[id] {
+			if level[p]+1 > l {
+				l = level[p] + 1
+			}
+		}
+		level[id] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	out := make([][]KernelID, maxLevel+1)
+	for id := range g.kernels {
+		out[level[id]] = append(out[level[id]], KernelID(id))
+	}
+	return out
+}
+
+// CriticalPath returns the longest path through the graph where each vertex
+// costs weight(kernel) and edges are free, along with the path itself
+// (entry to exit). It is a lower bound on makespan when weight is the
+// fastest execution time of each kernel and transfers are ignored.
+func (g *Graph) CriticalPath(weight func(Kernel) float64) (float64, []KernelID) {
+	n := len(g.kernels)
+	if n == 0 {
+		return 0, nil
+	}
+	dist := make([]float64, n)
+	next := make([]KernelID, n)
+	for i := range next {
+		next[i] = -1
+	}
+	order := g.TopoOrder()
+	// Walk in reverse topological order computing the longest tail.
+	for i := n - 1; i >= 0; i-- {
+		id := order[i]
+		w := weight(g.kernels[id])
+		best := 0.0
+		for _, s := range g.succs[id] {
+			if dist[s] > best {
+				best = dist[s]
+				next[id] = s
+			}
+		}
+		dist[id] = w + best
+	}
+	bestStart := KernelID(0)
+	for id := 1; id < n; id++ {
+		if dist[id] > dist[bestStart] {
+			bestStart = KernelID(id)
+		}
+	}
+	var path []KernelID
+	for id := bestStart; id != -1; id = next[id] {
+		path = append(path, id)
+	}
+	return dist[bestStart], path
+}
+
+// TotalWeight sums weight over all kernels. With weight = fastest execution
+// time, TotalWeight / numProcs is another makespan lower bound.
+func (g *Graph) TotalWeight(weight func(Kernel) float64) float64 {
+	var sum float64
+	for _, k := range g.kernels {
+		sum += weight(k)
+	}
+	return sum
+}
+
+// Validate re-checks structural invariants (acyclic, consistent adjacency).
+// Builders guarantee these already; Validate exists for graphs decoded from
+// external sources and for property tests.
+func (g *Graph) Validate() error {
+	n := len(g.kernels)
+	for id, k := range g.kernels {
+		if int(k.ID) != id {
+			return fmt.Errorf("dfg: kernel at index %d has ID %d", id, k.ID)
+		}
+		if k.Name == "" {
+			return fmt.Errorf("dfg: kernel %d has empty name", id)
+		}
+		if k.DataElems <= 0 {
+			return fmt.Errorf("dfg: kernel %d has non-positive data size %d", id, k.DataElems)
+		}
+		if k.OutElems <= 0 {
+			return fmt.Errorf("dfg: kernel %d has non-positive output size %d", id, k.OutElems)
+		}
+	}
+	for u := range g.succs {
+		for _, v := range g.succs[u] {
+			if v < 0 || int(v) >= n {
+				return fmt.Errorf("dfg: edge %d->%d out of range", u, v)
+			}
+			found := false
+			for _, p := range g.preds[v] {
+				if int(p) == u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("dfg: edge %d->%d missing reverse adjacency", u, v)
+			}
+		}
+	}
+	if len(g.TopoOrder()) != n {
+		return fmt.Errorf("dfg: graph contains a cycle")
+	}
+	return nil
+}
+
+// Builder accumulates kernels and edges and produces an immutable Graph.
+type Builder struct {
+	kernels []Kernel
+	succs   [][]KernelID
+	preds   [][]KernelID
+	edges   int
+	edgeSet map[[2]KernelID]bool
+	err     error
+}
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder {
+	return &Builder{edgeSet: map[[2]KernelID]bool{}}
+}
+
+// AddKernel appends a kernel and returns its ID. If k.OutElems is zero it
+// defaults to k.DataElems. The ID and Dwarf fields of the argument are
+// overwritten (Dwarf only if empty, from the name via lut-style mapping is
+// the caller's job; the builder leaves it as provided).
+func (b *Builder) AddKernel(k Kernel) KernelID {
+	id := KernelID(len(b.kernels))
+	k.ID = id
+	if k.OutElems == 0 {
+		k.OutElems = k.DataElems
+	}
+	if k.Name == "" {
+		b.fail(fmt.Errorf("dfg: kernel %d has empty name", id))
+	}
+	if k.DataElems <= 0 {
+		b.fail(fmt.Errorf("dfg: kernel %d (%s) has non-positive data size %d", id, k.Name, k.DataElems))
+	}
+	b.kernels = append(b.kernels, k)
+	b.succs = append(b.succs, nil)
+	b.preds = append(b.preds, nil)
+	return id
+}
+
+// AddEdge records the dependency from -> to (to consumes from's output).
+// Duplicate edges are ignored; self edges and forward references to
+// not-yet-added kernels are errors, as are edges that would create a cycle
+// (detected at Build).
+func (b *Builder) AddEdge(from, to KernelID) *Builder {
+	n := KernelID(len(b.kernels))
+	if from < 0 || from >= n || to < 0 || to >= n {
+		b.fail(fmt.Errorf("dfg: edge %d->%d references unknown kernel (have %d)", from, to, n))
+		return b
+	}
+	if from == to {
+		b.fail(fmt.Errorf("dfg: self edge on kernel %d", from))
+		return b
+	}
+	key := [2]KernelID{from, to}
+	if b.edgeSet[key] {
+		return b
+	}
+	b.edgeSet[key] = true
+	b.succs[from] = append(b.succs[from], to)
+	b.preds[to] = append(b.preds[to], from)
+	b.edges++
+	return b
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// NumKernels returns the number of kernels added so far.
+func (b *Builder) NumKernels() int { return len(b.kernels) }
+
+// InDegree returns the number of dependencies recorded so far for id, or
+// 0 for out-of-range IDs. Useful for composing subgraphs incrementally.
+func (b *Builder) InDegree(id KernelID) int {
+	if id < 0 || int(id) >= len(b.preds) {
+		return 0
+	}
+	return len(b.preds[id])
+}
+
+// Build finalises the graph, verifying acyclicity.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	g := &Graph{kernels: b.kernels, succs: b.succs, preds: b.preds, edges: b.edges}
+	if len(g.TopoOrder()) != len(g.kernels) {
+		return nil, fmt.Errorf("dfg: graph contains a cycle")
+	}
+	return g, nil
+}
+
+// MustBuild is Build, panicking on error.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,93 @@
+package dfg
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format, one node per kernel
+// labelled "name#id (elems)".
+func (g *Graph) WriteDOT(w io.Writer, title string) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", title)
+	sb.WriteString("  rankdir=TB;\n  node [shape=box];\n")
+	for _, k := range g.kernels {
+		fmt.Fprintf(&sb, "  k%d [label=\"%s#%d\\n%d elems\"];\n", k.ID, k.Name, k.ID, k.DataElems)
+	}
+	for u := range g.succs {
+		succs := append([]KernelID(nil), g.succs[u]...)
+		sort.Slice(succs, func(i, j int) bool { return succs[i] < succs[j] })
+		for _, v := range succs {
+			fmt.Fprintf(&sb, "  k%d -> k%d;\n", u, v)
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// jsonGraph is the stable on-disk representation.
+type jsonGraph struct {
+	Kernels []jsonKernel `json:"kernels"`
+	Edges   [][2]int     `json:"edges"`
+}
+
+type jsonKernel struct {
+	Name      string `json:"name"`
+	Dwarf     string `json:"dwarf,omitempty"`
+	DataElems int64  `json:"data_elems"`
+	OutElems  int64  `json:"out_elems,omitempty"`
+	App       int    `json:"app,omitempty"`
+}
+
+// WriteJSON encodes the graph as JSON. Kernels appear in ID order so a
+// subsequent ReadJSON reproduces identical IDs.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	jg := jsonGraph{Kernels: make([]jsonKernel, len(g.kernels))}
+	for i, k := range g.kernels {
+		jk := jsonKernel{Name: k.Name, Dwarf: k.Dwarf, DataElems: k.DataElems, App: k.App}
+		if k.OutElems != k.DataElems {
+			jk.OutElems = k.OutElems
+		}
+		jg.Kernels[i] = jk
+	}
+	for u := range g.succs {
+		for _, v := range g.succs[u] {
+			jg.Edges = append(jg.Edges, [2]int{u, int(v)})
+		}
+	}
+	sort.Slice(jg.Edges, func(i, j int) bool {
+		if jg.Edges[i][0] != jg.Edges[j][0] {
+			return jg.Edges[i][0] < jg.Edges[j][0]
+		}
+		return jg.Edges[i][1] < jg.Edges[j][1]
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jg)
+}
+
+// ReadJSON decodes a graph written by WriteJSON.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var jg jsonGraph
+	if err := json.NewDecoder(r).Decode(&jg); err != nil {
+		return nil, fmt.Errorf("dfg: json decode: %w", err)
+	}
+	b := NewBuilder()
+	for _, jk := range jg.Kernels {
+		b.AddKernel(Kernel{
+			Name:      jk.Name,
+			Dwarf:     jk.Dwarf,
+			DataElems: jk.DataElems,
+			OutElems:  jk.OutElems,
+			App:       jk.App,
+		})
+	}
+	for _, e := range jg.Edges {
+		b.AddEdge(KernelID(e[0]), KernelID(e[1]))
+	}
+	return b.Build()
+}

@@ -1,0 +1,45 @@
+package dfg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON asserts ReadJSON never panics and everything it accepts is
+// a valid graph that survives a round trip.
+func FuzzReadJSON(f *testing.F) {
+	var seed bytes.Buffer
+	b := NewBuilder()
+	k0 := b.AddKernel(Kernel{Name: "a", DataElems: 5})
+	k1 := b.AddKernel(Kernel{Name: "b", DataElems: 7})
+	b.AddEdge(k0, k1)
+	if err := b.MustBuild().WriteJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"kernels":[],"edges":[]}`)
+	f.Add(`{"kernels":[{"name":"k","data_elems":1}],"edges":[[0,0]]}`)
+	f.Add(`{"kernels":[{"name":"k","data_elems":1}],"edges":[[0,9]]}`)
+	f.Add(`not json at all`)
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var out bytes.Buffer
+		if err := g.WriteJSON(&out); err != nil {
+			t.Fatalf("accepted graph failed to serialise: %v", err)
+		}
+		back, err := ReadJSON(&out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.NumKernels() != g.NumKernels() || back.NumEdges() != g.NumEdges() {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/lut"
+	"repro/internal/report"
+)
+
+// Background artifacts: tables from the thesis's Chapter 2 that are
+// derivable from this repository's data structures. (Tables 2/4 are
+// definitional policy-property matrices, Table 3 is a five-row excerpt of
+// Table 14, and Table 6 cites the original hardware; none of those carry
+// reproducible computation, so they are documented in DESIGN.md instead.)
+
+// Table1 regenerates paper Table 1: application-to-dwarf membership.
+func (r *Runner) Table1() (*Artifact, error) {
+	dwarfs := apps.Dwarfs()
+	headers := []string{"Application"}
+	for _, d := range dwarfs {
+		headers = append(headers, string(d))
+	}
+	t := &report.Table{
+		Title:   "Table 1. Applications and the dwarfs they belong to.",
+		Headers: headers,
+	}
+	for _, a := range apps.Catalogue() {
+		cells := []string{a.Name}
+		for _, d := range dwarfs {
+			mark := ""
+			if a.HasDwarf(d) {
+				mark = "x"
+			}
+			cells = append(cells, mark)
+		}
+		t.MustAddRow(cells...)
+	}
+	return &Artifact{ID: "table1", Caption: "Application-to-dwarf membership", Table: t}, nil
+}
+
+// Table5 regenerates paper Table 5: the kernels chosen for the workloads
+// and their dwarf classes.
+func (r *Runner) Table5() (*Artifact, error) {
+	t := &report.Table{
+		Title:   "Table 5. Kernels chosen in this work.",
+		Headers: []string{"Kernel", "Dwarf", "Measured sizes"},
+	}
+	tab := lut.Paper()
+	for _, k := range tab.Kernels() {
+		t.MustAddRow(k, lut.Dwarf(k), fmt.Sprintf("%d", len(tab.Sizes(k))))
+	}
+	return &Artifact{ID: "table5", Caption: "Kernel set and dwarf classes", Table: t}, nil
+}

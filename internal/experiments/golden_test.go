@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Golden regression values: the default-seed suite is fully deterministic,
+// so these exact cells must never drift. If an intentional model change
+// moves them, update the constants and record the change in EXPERIMENTS.md
+// — a silent shift here means a behavioural regression somewhere in the
+// engine, the generators or a policy.
+
+func TestGoldenTable10FirstRow(t *testing.T) {
+	r := NewRunner(Config{})
+	a, err := r.Table10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.Table.Rows[0]
+	want := []string{"1", "37822.000", "40956.770", "586451.799", "588137.178", "718964.606", "44787.842", "40923.978"}
+	if len(got) != len(want) {
+		t.Fatalf("row width %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Table 10 row 1 col %d (%s) = %s, want %s — deterministic results drifted",
+				i, a.Table.Headers[i], got[i], want[i])
+		}
+	}
+}
+
+func TestGoldenFigure5EndTimes(t *testing.T) {
+	r := NewRunner(Config{})
+	a, err := r.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"End time: 318.093", "End time: 212.093"} {
+		if !strings.Contains(a.Text, want) {
+			t.Errorf("Figure 5 lost golden line %q", want)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package lut
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCSV asserts ReadCSV never panics and that everything it accepts
+// survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Paper().WriteCSV(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("kernel,data_elems,CPU\nk,1,2\n")
+	f.Add("")
+	f.Add("kernel,data_elems\n")
+	f.Add("kernel,data_elems,CPU,GPU\nk,0,1,2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tab, err := ReadCSV(bytes.NewBufferString(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var out bytes.Buffer
+		if err := tab.WriteCSV(&out); err != nil {
+			t.Fatalf("accepted table failed to serialise: %v", err)
+		}
+		back, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("round trip of accepted table failed: %v", err)
+		}
+		if len(back.Entries()) != len(tab.Entries()) {
+			t.Fatalf("round trip changed row count: %d vs %d",
+				len(back.Entries()), len(tab.Entries()))
+		}
+	})
+}

@@ -1,0 +1,306 @@
+// Package lut provides the measured-execution-time lookup table that drives
+// the simulator's cost model.
+//
+// The thesis (Table 14, Appendix A) collects real measured execution times
+// for seven kernels at various data sizes on a CPU, a GPU and an FPGA, taken
+// from Skalicky et al. (linear-algebra kernels) and Krommydas et al.
+// (OpenCL dwarfs). The scheduler consults this table to estimate the
+// execution time of a kernel on each processor category.
+//
+// The table is keyed by (kernel name, data size in elements, processor
+// kind). Exact sizes hit the measured value; sizes between two measured
+// points are piecewise-linearly interpolated; sizes outside the measured
+// range clamp to the nearest endpoint. The paper only ever schedules the
+// measured sizes, but the generators and examples in this repository are
+// free to use intermediate ones.
+package lut
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/platform"
+)
+
+// Entry is one measured row: execution times in milliseconds for a kernel
+// at a specific data size on each processor kind.
+type Entry struct {
+	Kernel string
+	// DataElems is the input size in elements (e.g. matrix rows*cols).
+	DataElems int64
+	// TimeMs maps processor kind to measured execution time in milliseconds.
+	TimeMs map[platform.Kind]float64
+}
+
+// Table is an immutable collection of measured entries with interpolating
+// lookup. Build one with New or load the paper's table with Paper.
+type Table struct {
+	// byKernel[kernel] is sorted by DataElems ascending.
+	byKernel map[string][]Entry
+	kinds    []platform.Kind
+}
+
+// New builds a table from entries. Every entry must name a kernel, have a
+// positive size, and supply a non-negative time for every kind that appears
+// anywhere in the input (the table must be rectangular: all kernels cover
+// the same set of kinds). Duplicate (kernel, size) pairs are rejected.
+func New(entries []Entry) (*Table, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("lut: no entries")
+	}
+	kindSet := map[platform.Kind]bool{}
+	for _, e := range entries {
+		for k := range e.TimeMs {
+			kindSet[k] = true
+		}
+	}
+	kinds := make([]platform.Kind, 0, len(kindSet))
+	for k := range kindSet {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+
+	byKernel := map[string][]Entry{}
+	for _, e := range entries {
+		if e.Kernel == "" {
+			return nil, fmt.Errorf("lut: entry with empty kernel name")
+		}
+		if e.DataElems <= 0 {
+			return nil, fmt.Errorf("lut: kernel %q has non-positive data size %d", e.Kernel, e.DataElems)
+		}
+		for _, k := range kinds {
+			t, ok := e.TimeMs[k]
+			if !ok {
+				return nil, fmt.Errorf("lut: kernel %q size %d missing time for kind %s", e.Kernel, e.DataElems, k)
+			}
+			if t < 0 {
+				return nil, fmt.Errorf("lut: kernel %q size %d has negative time %v on %s", e.Kernel, e.DataElems, t, k)
+			}
+		}
+		// Copy the map so the table does not alias caller memory.
+		cp := Entry{Kernel: e.Kernel, DataElems: e.DataElems, TimeMs: make(map[platform.Kind]float64, len(e.TimeMs))}
+		for k, v := range e.TimeMs {
+			cp.TimeMs[k] = v
+		}
+		byKernel[e.Kernel] = append(byKernel[e.Kernel], cp)
+	}
+	for kernel, rows := range byKernel {
+		sort.Slice(rows, func(i, j int) bool { return rows[i].DataElems < rows[j].DataElems })
+		for i := 1; i < len(rows); i++ {
+			if rows[i].DataElems == rows[i-1].DataElems {
+				return nil, fmt.Errorf("lut: duplicate entry for kernel %q size %d", kernel, rows[i].DataElems)
+			}
+		}
+		byKernel[kernel] = rows
+	}
+	return &Table{byKernel: byKernel, kinds: kinds}, nil
+}
+
+// MustNew is New, panicking on error.
+func MustNew(entries []Entry) *Table {
+	t, err := New(entries)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Kinds returns the processor kinds the table covers, sorted.
+func (t *Table) Kinds() []platform.Kind { return t.kinds }
+
+// Kernels returns the kernel names present, sorted.
+func (t *Table) Kernels() []string {
+	names := make([]string, 0, len(t.byKernel))
+	for k := range t.byKernel {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Sizes returns the measured data sizes for a kernel, ascending, or nil if
+// the kernel is unknown.
+func (t *Table) Sizes(kernel string) []int64 {
+	rows := t.byKernel[kernel]
+	if rows == nil {
+		return nil
+	}
+	sizes := make([]int64, len(rows))
+	for i, r := range rows {
+		sizes[i] = r.DataElems
+	}
+	return sizes
+}
+
+// HasKernel reports whether the table has any entry for the kernel.
+func (t *Table) HasKernel(kernel string) bool { return len(t.byKernel[kernel]) > 0 }
+
+// Exec returns the estimated execution time in milliseconds of the kernel
+// at the given data size on the given processor kind.
+//
+// Exact measured sizes return the measured value. Sizes strictly between
+// two measured points interpolate linearly. Sizes below the smallest or
+// above the largest measured size clamp to the boundary measurement, a
+// deliberately conservative choice that keeps estimates inside the measured
+// envelope.
+func (t *Table) Exec(kernel string, elems int64, kind platform.Kind) (float64, error) {
+	rows := t.byKernel[kernel]
+	if rows == nil {
+		return 0, fmt.Errorf("lut: unknown kernel %q", kernel)
+	}
+	if elems <= 0 {
+		return 0, fmt.Errorf("lut: non-positive data size %d for kernel %q", elems, kernel)
+	}
+	if _, ok := rows[0].TimeMs[kind]; !ok {
+		return 0, fmt.Errorf("lut: kernel %q has no time for kind %s", kernel, kind)
+	}
+	// Binary search for the first row with DataElems >= elems.
+	i := sort.Search(len(rows), func(i int) bool { return rows[i].DataElems >= elems })
+	switch {
+	case i == len(rows):
+		return rows[len(rows)-1].TimeMs[kind], nil // clamp above
+	case rows[i].DataElems == elems:
+		return rows[i].TimeMs[kind], nil // exact
+	case i == 0:
+		return rows[0].TimeMs[kind], nil // clamp below
+	default:
+		lo, hi := rows[i-1], rows[i]
+		frac := float64(elems-lo.DataElems) / float64(hi.DataElems-lo.DataElems)
+		a, b := lo.TimeMs[kind], hi.TimeMs[kind]
+		return a + frac*(b-a), nil
+	}
+}
+
+// BestKind returns the processor kind with the minimum execution time for
+// the kernel at the given size, together with that time. Ties break toward
+// the alphabetically smaller kind for determinism.
+func (t *Table) BestKind(kernel string, elems int64) (platform.Kind, float64, error) {
+	var bestKind platform.Kind
+	best := 0.0
+	found := false
+	for _, k := range t.kinds {
+		ms, err := t.Exec(kernel, elems, k)
+		if err != nil {
+			return "", 0, err
+		}
+		if !found || ms < best {
+			found, best, bestKind = true, ms, k
+		}
+	}
+	if !found {
+		return "", 0, fmt.Errorf("lut: table has no kinds")
+	}
+	return bestKind, best, nil
+}
+
+// Heterogeneity returns max/min execution time across kinds for the kernel
+// at the given size — a measure of how much the choice of processor matters
+// for this kernel. Returns +Inf ratio when the minimum is zero is avoided by
+// reporting the raw min and max instead.
+func (t *Table) Heterogeneity(kernel string, elems int64) (min, max float64, err error) {
+	first := true
+	for _, k := range t.kinds {
+		ms, e := t.Exec(kernel, elems, k)
+		if e != nil {
+			return 0, 0, e
+		}
+		if first {
+			min, max, first = ms, ms, false
+			continue
+		}
+		if ms < min {
+			min = ms
+		}
+		if ms > max {
+			max = ms
+		}
+	}
+	if first {
+		return 0, 0, fmt.Errorf("lut: table has no kinds")
+	}
+	return min, max, nil
+}
+
+// Entries returns every row of the table, sorted by kernel then size.
+// The returned entries are copies.
+func (t *Table) Entries() []Entry {
+	var out []Entry
+	for _, kernel := range t.Kernels() {
+		for _, row := range t.byKernel[kernel] {
+			cp := Entry{Kernel: row.Kernel, DataElems: row.DataElems, TimeMs: map[platform.Kind]float64{}}
+			for k, v := range row.TimeMs {
+				cp.TimeMs[k] = v
+			}
+			out = append(out, cp)
+		}
+	}
+	return out
+}
+
+// WriteCSV writes the table with a header row:
+//
+//	kernel,data_elems,<kind1>,<kind2>,...
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"kernel", "data_elems"}
+	for _, k := range t.kinds {
+		header = append(header, string(k))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, e := range t.Entries() {
+		rec := []string{e.Kernel, strconv.FormatInt(e.DataElems, 10)}
+		for _, k := range t.kinds {
+			rec = append(rec, strconv.FormatFloat(e.TimeMs[k], 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table previously written by WriteCSV.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("lut: csv read: %w", err)
+	}
+	if len(recs) < 2 {
+		return nil, fmt.Errorf("lut: csv has no data rows")
+	}
+	header := recs[0]
+	if len(header) < 3 || header[0] != "kernel" || header[1] != "data_elems" {
+		return nil, fmt.Errorf("lut: csv header %v malformed", header)
+	}
+	kinds := make([]platform.Kind, 0, len(header)-2)
+	for _, h := range header[2:] {
+		kinds = append(kinds, platform.Kind(h))
+	}
+	var entries []Entry
+	for ln, rec := range recs[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("lut: csv row %d has %d fields, want %d", ln+2, len(rec), len(header))
+		}
+		size, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("lut: csv row %d size: %w", ln+2, err)
+		}
+		e := Entry{Kernel: rec[0], DataElems: size, TimeMs: map[platform.Kind]float64{}}
+		for i, k := range kinds {
+			v, err := strconv.ParseFloat(rec[2+i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("lut: csv row %d kind %s: %w", ln+2, k, err)
+			}
+			e.TimeMs[k] = v
+		}
+		entries = append(entries, e)
+	}
+	return New(entries)
+}

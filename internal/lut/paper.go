@@ -1,0 +1,88 @@
+package lut
+
+import "repro/internal/platform"
+
+// Canonical kernel names used throughout the repository. They match the
+// abbreviations in the thesis (Table 5, Appendix B).
+const (
+	MatMul = "matmul" // Matrix-Matrix Multiplication (Dense Linear Algebra)
+	MatInv = "mi"     // Matrix Inverse (Dense Linear Algebra)
+	CD     = "cd"     // Cholesky Decomposition (Dense/Sparse Linear Algebra)
+	NW     = "nw"     // Needleman-Wunsch (Dynamic Programming)
+	BFS    = "bfs"    // Breadth First Search (Graph Traversal)
+	SRAD   = "srad"   // Speckle Reducing Anisotropic Diffusion (Structured Grids)
+	GEM    = "gem"    // Gaussian Electrostatic Model (N-Body)
+)
+
+// Dwarf returns the Berkeley-dwarf classification of a canonical kernel
+// (paper Table 5), or "" for unknown kernels.
+func Dwarf(kernel string) string {
+	switch kernel {
+	case MatMul, MatInv:
+		return "Dense Linear Algebra"
+	case CD:
+		return "Dense and Sparse Linear Algebra"
+	case NW:
+		return "Dynamic Programming"
+	case BFS:
+		return "Graph Traversal"
+	case SRAD:
+		return "Structured Grids"
+	case GEM:
+		return "N-Body Methods"
+	default:
+		return ""
+	}
+}
+
+func row(kernel string, elems int64, cpu, gpu, fpga float64) Entry {
+	return Entry{
+		Kernel:    kernel,
+		DataElems: elems,
+		TimeMs: map[platform.Kind]float64{
+			platform.CPU:  cpu,
+			platform.GPU:  gpu,
+			platform.FPGA: fpga,
+		},
+	}
+}
+
+// paperEntries is the thesis's complete lookup table (Table 14, Appendix A),
+// transcribed verbatim. Times are milliseconds; sizes are elements.
+var paperEntries = []Entry{
+	// Matrix Multiplication
+	row(MatMul, 250000, 29.631, 0.062, 149.011),
+	row(MatMul, 698896, 131.183, 0.061, 696.512),
+	row(MatMul, 1000000, 220.806, 0.061, 1192.092),
+	row(MatMul, 4000000, 259.291, 0.062, 9536.743),
+	row(MatMul, 16000000, 1967.286, 0.061, 76293.945),
+	row(MatMul, 36000000, 6676.706, 0.106, 257492.065),
+	row(MatMul, 64000000, 15487.652, 0.147, 610351.562),
+	// Matrix Inverse
+	row(MatInv, 250000, 42.952, 9.652, 24.247),
+	row(MatInv, 698896, 148.387, 22.352, 110.597),
+	row(MatInv, 1000000, 235.810, 29.078, 188.188),
+	row(MatInv, 4000000, 432.330, 129.156, 1482.717),
+	row(MatInv, 16000000, 40636.878, 596.582, 11770.520),
+	row(MatInv, 36000000, 133917.655, 1702.537, 39623.932),
+	row(MatInv, 64000000, 312902.299, 3600.423, 93802.080),
+	// Cholesky Decomposition
+	row(CD, 250000, 17.064, 2.749, 0.093),
+	row(CD, 698896, 86.585, 4.940, 0.258),
+	row(CD, 1000000, 6.284, 6.453, 0.361),
+	row(CD, 4000000, 86.585, 21.219, 1.382),
+	row(CD, 16000000, 60.806, 90.581, 5.407),
+	row(CD, 36000000, 132.677, 220.819, 12.194),
+	row(CD, 64000000, 307.539, 458.603, 21.543),
+	// Dwarfs from Krommydas et al., one measured size each (paper Table 7/14).
+	row(NW, 16777216, 112, 146, 397),
+	row(BFS, 2034736, 332, 173, 106),
+	row(SRAD, 134217728, 5092, 1600, 92287),
+	row(GEM, 2070376, 21592, 4001, 585760),
+}
+
+var paperTable = MustNew(paperEntries)
+
+// Paper returns the thesis's complete measured lookup table (Table 14).
+// The returned table is shared and immutable.
+func Paper() *Table { return paperTable }

@@ -1,0 +1,27 @@
+package lut
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Perturbed returns a copy of the table with every execution time
+// multiplied by an independent uniform factor in [1-frac, 1+frac]
+// (deterministic per seed). It models estimation error: schedulers decide
+// with one table while the simulated hardware follows a perturbed one —
+// the thesis's lookup table itself generalises measurements from other
+// groups' hardware, so its estimates carry exactly this kind of error.
+func Perturbed(t *Table, frac float64, seed int64) (*Table, error) {
+	if frac < 0 || frac >= 1 {
+		return nil, fmt.Errorf("lut: perturbation fraction must be in [0,1), got %v", frac)
+	}
+	r := rand.New(rand.NewSource(seed))
+	entries := t.Entries()
+	for i := range entries {
+		for _, k := range t.Kinds() {
+			factor := 1 + frac*(2*r.Float64()-1)
+			entries[i].TimeMs[k] *= factor
+		}
+	}
+	return New(entries)
+}

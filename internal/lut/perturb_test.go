@@ -1,0 +1,81 @@
+package lut
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestPerturbedWithinBounds(t *testing.T) {
+	base := Paper()
+	noisy, err := Perturbed(base, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := false
+	for _, e := range base.Entries() {
+		for _, k := range base.Kinds() {
+			orig := e.TimeMs[k]
+			got, err := noisy.Exec(e.Kernel, e.DataElems, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got < orig*0.7-1e-9 || got > orig*1.3+1e-9 {
+				t.Errorf("%s/%d/%s perturbed to %v, outside ±30%% of %v",
+					e.Kernel, e.DataElems, k, got, orig)
+			}
+			if got != orig {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Error("perturbation changed nothing")
+	}
+}
+
+func TestPerturbedDeterministic(t *testing.T) {
+	a, _ := Perturbed(Paper(), 0.2, 3)
+	b, _ := Perturbed(Paper(), 0.2, 3)
+	va, _ := a.Exec(MatMul, 250000, platform.GPU)
+	vb, _ := b.Exec(MatMul, 250000, platform.GPU)
+	if va != vb {
+		t.Errorf("same seed produced %v vs %v", va, vb)
+	}
+}
+
+func TestPerturbedZeroIsIdentity(t *testing.T) {
+	same, err := Perturbed(Paper(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range Paper().Entries() {
+		for _, k := range Paper().Kinds() {
+			got, _ := same.Exec(e.Kernel, e.DataElems, k)
+			if math.Abs(got-e.TimeMs[k]) > 1e-12 {
+				t.Fatalf("zero perturbation changed %s/%d/%s", e.Kernel, e.DataElems, k)
+			}
+		}
+	}
+}
+
+func TestPerturbedValidation(t *testing.T) {
+	if _, err := Perturbed(Paper(), -0.1, 1); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, err := Perturbed(Paper(), 1, 1); err == nil {
+		t.Error("fraction 1 accepted (could zero out times)")
+	}
+}
+
+func TestPerturbedDoesNotMutateOriginal(t *testing.T) {
+	before, _ := Paper().Exec(MatMul, 250000, platform.CPU)
+	if _, err := Perturbed(Paper(), 0.5, 9); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := Paper().Exec(MatMul, 250000, platform.CPU)
+	if before != after {
+		t.Fatal("Perturbed mutated the shared paper table")
+	}
+}

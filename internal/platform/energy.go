@@ -1,0 +1,52 @@
+package platform
+
+import "fmt"
+
+// PowerModel assigns active and idle power draws to processor kinds,
+// enabling the energy metric the thesis motivates ("high performance and
+// power efficiency") but does not evaluate. Values are watts; energy
+// integrates power over the simulated schedule.
+type PowerModel struct {
+	// ActiveW is the draw while executing or transferring, per kind.
+	ActiveW map[Kind]float64
+	// IdleW is the draw while idle, per kind.
+	IdleW map[Kind]float64
+}
+
+// DefaultPowerModel returns representative board-level draws for the
+// paper's processor classes (desktop CPU, discrete compute GPU, mid-size
+// FPGA board): CPU 95/30 W, GPU 225/25 W, FPGA 25/10 W. These are
+// magnitude-realistic figures for the hardware families the thesis's
+// lookup table was measured on, not measurements from the paper — the
+// thesis reports no power numbers.
+func DefaultPowerModel() PowerModel {
+	return PowerModel{
+		ActiveW: map[Kind]float64{CPU: 95, GPU: 225, FPGA: 25},
+		IdleW:   map[Kind]float64{CPU: 30, GPU: 25, FPGA: 10},
+	}
+}
+
+// Validate checks that the model covers every kind in the system with
+// non-negative draws and idle <= active.
+func (pm PowerModel) Validate(s *System) error {
+	for _, k := range s.Kinds() {
+		a, okA := pm.ActiveW[k]
+		i, okI := pm.IdleW[k]
+		if !okA || !okI {
+			return fmt.Errorf("platform: power model missing kind %s", k)
+		}
+		if a < 0 || i < 0 {
+			return fmt.Errorf("platform: negative power for kind %s", k)
+		}
+		if i > a {
+			return fmt.Errorf("platform: idle power %v exceeds active %v for kind %s", i, a, k)
+		}
+	}
+	return nil
+}
+
+// EnergyJ integrates one processor's energy in joules given its busy
+// (exec+transfer) and idle milliseconds.
+func (pm PowerModel) EnergyJ(kind Kind, busyMs, idleMs float64) float64 {
+	return (pm.ActiveW[kind]*busyMs + pm.IdleW[kind]*idleMs) / 1000
+}

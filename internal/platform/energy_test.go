@@ -1,0 +1,43 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultPowerModelValid(t *testing.T) {
+	s := PaperSystem(4)
+	if err := DefaultPowerModel().Validate(s); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+}
+
+func TestPowerModelValidation(t *testing.T) {
+	s := PaperSystem(4)
+	missing := PowerModel{ActiveW: map[Kind]float64{CPU: 1}, IdleW: map[Kind]float64{CPU: 1}}
+	if err := missing.Validate(s); err == nil {
+		t.Error("model missing kinds accepted")
+	}
+	negative := DefaultPowerModel()
+	negative.ActiveW[CPU] = -1
+	if err := negative.Validate(s); err == nil {
+		t.Error("negative power accepted")
+	}
+	inverted := DefaultPowerModel()
+	inverted.IdleW[GPU] = inverted.ActiveW[GPU] + 1
+	if err := inverted.Validate(s); err == nil {
+		t.Error("idle > active accepted")
+	}
+}
+
+func TestEnergyJ(t *testing.T) {
+	pm := PowerModel{
+		ActiveW: map[Kind]float64{CPU: 100},
+		IdleW:   map[Kind]float64{CPU: 10},
+	}
+	// 1 second busy at 100 W + 2 seconds idle at 10 W = 120 J.
+	got := pm.EnergyJ(CPU, 1000, 2000)
+	if math.Abs(got-120) > 1e-9 {
+		t.Errorf("EnergyJ = %v, want 120", got)
+	}
+}

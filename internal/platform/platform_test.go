@@ -1,0 +1,215 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperSystem(t *testing.T) {
+	s := PaperSystem(4)
+	if got := s.NumProcs(); got != 3 {
+		t.Fatalf("NumProcs = %d, want 3", got)
+	}
+	wantKinds := []Kind{CPU, GPU, FPGA}
+	for i, k := range wantKinds {
+		if got := s.KindOf(ProcID(i)); got != k {
+			t.Errorf("KindOf(%d) = %s, want %s", i, got, k)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			r := s.Rate(ProcID(i), ProcID(j))
+			if i == j && r != 0 {
+				t.Errorf("Rate(%d,%d) = %v, want 0 for self link", i, j, r)
+			}
+			if i != j && r != 4 {
+				t.Errorf("Rate(%d,%d) = %v, want 4", i, j, r)
+			}
+		}
+	}
+}
+
+func TestBuilderDefaultNames(t *testing.T) {
+	b := NewBuilder()
+	b.AddProcessor(CPU, "")
+	b.AddProcessor(CPU, "")
+	b.AddProcessor(GPU, "")
+	s := b.SetUniformRate(1).MustBuild()
+	wants := []string{"CPU0", "CPU1", "GPU0"}
+	for i, want := range wants {
+		if got := s.Proc(ProcID(i)).Name; got != want {
+			t.Errorf("proc %d name = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestBuilderCustomName(t *testing.T) {
+	b := NewBuilder()
+	id := b.AddProcessor(GPU, "Tesla K20")
+	s := b.MustBuild()
+	if got := s.Proc(id).Name; got != "Tesla K20" {
+		t.Errorf("name = %q, want Tesla K20", got)
+	}
+}
+
+func TestBuilderEmptySystem(t *testing.T) {
+	if _, err := NewBuilder().Build(); err == nil {
+		t.Fatal("Build on empty builder succeeded, want error")
+	}
+}
+
+func TestBuilderEmptyKind(t *testing.T) {
+	b := NewBuilder()
+	b.AddProcessor("", "x")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build with empty kind succeeded, want error")
+	}
+}
+
+func TestBuilderNegativeRate(t *testing.T) {
+	b := NewBuilder()
+	a := b.AddProcessor(CPU, "")
+	c := b.AddProcessor(GPU, "")
+	b.SetRate(a, c, -1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build with negative rate succeeded, want error")
+	}
+}
+
+func TestBuilderSelfLink(t *testing.T) {
+	b := NewBuilder()
+	a := b.AddProcessor(CPU, "")
+	b.SetRate(a, a, 1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build with self link succeeded, want error")
+	}
+}
+
+func TestBuilderUnknownProcessorInLink(t *testing.T) {
+	b := NewBuilder()
+	a := b.AddProcessor(CPU, "")
+	b.SetRate(a, ProcID(7), 1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build with dangling link succeeded, want error")
+	}
+}
+
+func TestRateOverridePrecedence(t *testing.T) {
+	b := NewBuilder()
+	cpu := b.AddProcessor(CPU, "")
+	gpu := b.AddProcessor(GPU, "")
+	fpga := b.AddProcessor(FPGA, "")
+	b.SetUniformRate(4)
+	b.SetSymmetricRate(cpu, gpu, 16)
+	s := b.MustBuild()
+	if got := s.Rate(cpu, gpu); got != 16 {
+		t.Errorf("Rate(cpu,gpu) = %v, want override 16", got)
+	}
+	if got := s.Rate(gpu, cpu); got != 16 {
+		t.Errorf("Rate(gpu,cpu) = %v, want override 16", got)
+	}
+	if got := s.Rate(cpu, fpga); got != 4 {
+		t.Errorf("Rate(cpu,fpga) = %v, want uniform 4", got)
+	}
+}
+
+func TestByKind(t *testing.T) {
+	b := NewBuilder()
+	b.AddProcessor(CPU, "")
+	g0 := b.AddProcessor(GPU, "")
+	b.AddProcessor(CPU, "")
+	g1 := b.AddProcessor(GPU, "")
+	s := b.SetUniformRate(1).MustBuild()
+	got := s.ByKind(GPU)
+	if len(got) != 2 || got[0] != g0 || got[1] != g1 {
+		t.Errorf("ByKind(GPU) = %v, want [%d %d]", got, g0, g1)
+	}
+	if ids := s.ByKind("TPU"); ids != nil {
+		t.Errorf("ByKind(TPU) = %v, want nil", ids)
+	}
+}
+
+func TestKindsSorted(t *testing.T) {
+	s := PaperSystem(4)
+	kinds := s.Kinds()
+	if len(kinds) != 3 {
+		t.Fatalf("Kinds len = %d, want 3", len(kinds))
+	}
+	for i := 1; i < len(kinds); i++ {
+		if kinds[i-1] >= kinds[i] {
+			t.Errorf("Kinds not sorted: %v", kinds)
+		}
+	}
+}
+
+func TestDegreeOfHeterogeneity(t *testing.T) {
+	if got := PaperSystem(4).DegreeOfHeterogeneity(); got != 1 {
+		t.Errorf("paper system heterogeneity = %v, want 1", got)
+	}
+	b := NewBuilder()
+	b.AddProcessor(CPU, "")
+	b.AddProcessor(CPU, "")
+	b.AddProcessor(GPU, "")
+	b.AddProcessor(GPU, "")
+	s := b.SetUniformRate(1).MustBuild()
+	if got := s.DegreeOfHeterogeneity(); got != 0.5 {
+		t.Errorf("heterogeneity = %v, want 0.5", got)
+	}
+}
+
+func TestStringContainsNames(t *testing.T) {
+	s := PaperSystem(8)
+	str := s.String()
+	for _, want := range []string{"CPU0", "GPU0", "FPGA0"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q missing %q", str, want)
+		}
+	}
+}
+
+func TestProcPanicsOutOfRange(t *testing.T) {
+	s := PaperSystem(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("Proc(99) did not panic")
+		}
+	}()
+	s.Proc(99)
+}
+
+func TestGBpsBytesPerMs(t *testing.T) {
+	// 4 GB/s = 4e9 bytes/s = 4e6 bytes/ms.
+	if got := GBps(4).BytesPerMs(); got != 4e6 {
+		t.Errorf("BytesPerMs = %v, want 4e6", got)
+	}
+}
+
+// Property: for any uniform rate, every off-diagonal link reports that rate
+// and every diagonal entry reports zero.
+func TestUniformRateProperty(t *testing.T) {
+	f := func(rateCenti uint16, nProcs uint8) bool {
+		n := int(nProcs%6) + 1
+		r := GBps(float64(rateCenti) / 100)
+		b := NewBuilder()
+		for i := 0; i < n; i++ {
+			b.AddProcessor(CPU, "")
+		}
+		s := b.SetUniformRate(r).MustBuild()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				got := s.Rate(ProcID(i), ProcID(j))
+				if i == j && got != 0 {
+					return false
+				}
+				if i != j && got != r {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

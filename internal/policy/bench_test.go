@@ -1,0 +1,64 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/lut"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func benchCosts(b *testing.B) *sim.Costs {
+	b.Helper()
+	g := workload.MustSuite(workload.Type2, workload.DefaultSuiteSeed)[9] // 157 kernels
+	c, err := sim.PrepareCosts(g, platform.PaperSystem(4), lut.Paper(), sim.CostConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkHEFTPrepare isolates HEFT's static ranking + planning phase —
+// the pre-computation cost the thesis argues APT avoids.
+func BenchmarkHEFTPrepare(b *testing.B) {
+	c := benchCosts(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := NewHEFT().Prepare(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPEFTPrepare isolates PEFT's OCT computation + planning phase.
+func BenchmarkPEFTPrepare(b *testing.B) {
+	c := benchCosts(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := NewPEFT().Prepare(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchPolicyRun(b *testing.B, newPol func() sim.Policy) {
+	b.Helper()
+	c := benchCosts(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(c, newPol(), sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunMET(b *testing.B)  { benchPolicyRun(b, func() sim.Policy { return NewMET(1) }) }
+func BenchmarkRunSPN(b *testing.B)  { benchPolicyRun(b, func() sim.Policy { return NewSPN() }) }
+func BenchmarkRunSS(b *testing.B)   { benchPolicyRun(b, func() sim.Policy { return NewSS() }) }
+func BenchmarkRunAG(b *testing.B)   { benchPolicyRun(b, func() sim.Policy { return NewAG() }) }
+func BenchmarkRunHEFT(b *testing.B) { benchPolicyRun(b, func() sim.Policy { return NewHEFT() }) }
+func BenchmarkRunPEFT(b *testing.B) { benchPolicyRun(b, func() sim.Policy { return NewPEFT() }) }

@@ -1,0 +1,95 @@
+package policy
+
+import (
+	"math/rand"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// OLB implements opportunistic load balancing, one of the eleven heuristics
+// of Braun et al. that the thesis discusses alongside MET (§2.1): each
+// ready kernel is assigned to the next available processor, in kernel
+// arrival order, **without considering execution times at all**. The
+// thesis dismisses OLB for exactly that reason ("OLB does not consider the
+// execution time of each task on the given hardware platform before making
+// assignments"); it is provided as the natural lower baseline for the
+// comparison tables.
+type OLB struct{}
+
+// NewOLB returns an OLB policy.
+func NewOLB() *OLB { return &OLB{} }
+
+// Name implements sim.Policy.
+func (*OLB) Name() string { return "OLB" }
+
+// Prepare implements sim.Policy.
+func (*OLB) Prepare(*sim.Costs) error { return nil }
+
+// Select implements sim.Policy: pair ready kernels with available
+// processors first-come-first-serve.
+func (*OLB) Select(st *sim.State) []sim.Assignment {
+	procs := st.AvailableProcs()
+	var out []sim.Assignment
+	for _, k := range st.Ready() {
+		if len(procs) == 0 {
+			break
+		}
+		out = append(out, sim.Assignment{Kernel: k, Proc: procs[0]})
+		procs = procs[1:]
+	}
+	return out
+}
+
+// AR implements the Adaptive Random companion policy of AG (Wu et al.,
+// cited in §2.5.2: "the Adaptive Random policy uses random weights and
+// probabilities to assign kernels"). Each ready kernel is assigned
+// immediately to a processor drawn with probability inversely proportional
+// to the kernel's execution time there, so fast processors are likelier —
+// but not certain — to be chosen. The weights adapt per kernel.
+type AR struct {
+	// Seed fixes the random draws.
+	Seed int64
+
+	c   *sim.Costs
+	rng *rand.Rand
+}
+
+// NewAR returns an AR policy with the given seed.
+func NewAR(seed int64) *AR { return &AR{Seed: seed} }
+
+// Name implements sim.Policy.
+func (a *AR) Name() string { return "AR" }
+
+// Prepare implements sim.Policy.
+func (a *AR) Prepare(c *sim.Costs) error {
+	a.c = c
+	a.rng = rand.New(rand.NewSource(a.Seed))
+	return nil
+}
+
+// Select implements sim.Policy.
+func (a *AR) Select(st *sim.State) []sim.Assignment {
+	np := st.System().NumProcs()
+	var out []sim.Assignment
+	for _, k := range st.Ready() {
+		weights := make([]float64, np)
+		var total float64
+		for p := 0; p < np; p++ {
+			w := 1 / a.c.Exec(k, platform.ProcID(p))
+			weights[p] = w
+			total += w
+		}
+		x := a.rng.Float64() * total
+		chosen := np - 1
+		for p := 0; p < np; p++ {
+			if x < weights[p] {
+				chosen = p
+				break
+			}
+			x -= weights[p]
+		}
+		out = append(out, sim.Assignment{Kernel: k, Proc: platform.ProcID(chosen)})
+	}
+	return out
+}

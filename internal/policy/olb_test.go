@@ -1,0 +1,93 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/dfg"
+	"repro/internal/lut"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func TestOLBIgnoresExecutionTimes(t *testing.T) {
+	e := newEnv(t)
+	b := dfg.NewBuilder()
+	// Three "a" kernels: OLB hands them to CPU, GPU, FPGA in ID order even
+	// though the FPGA is 25x slower than the GPU for "a".
+	for i := 0; i < 3; i++ {
+		b.AddKernel(dfg.Kernel{Name: "a", DataElems: 1000})
+	}
+	g := b.MustBuild()
+	res := e.run(t, g, NewOLB())
+	used := map[platform.Kind]int{}
+	for i := range res.Placements {
+		used[e.sys.KindOf(res.Placements[i].Proc)]++
+	}
+	if used[platform.CPU] != 1 || used[platform.GPU] != 1 || used[platform.FPGA] != 1 {
+		t.Errorf("OLB placements = %v, want one per processor", used)
+	}
+	// Makespan is dominated by the FPGA's 50 ms.
+	if res.MakespanMs != 50 {
+		t.Errorf("makespan = %v, want 50", res.MakespanMs)
+	}
+}
+
+func TestOLBNeverIdlesWithWork(t *testing.T) {
+	e := testEnv{sys: platform.PaperSystem(4), tab: lut.Paper()}
+	g := workload.MustSuite(workload.Type1, 3)[0]
+	res := e.run(t, g, NewOLB())
+	// Every Select with ready kernels and free processors assigns, so no
+	// kernel's Assign time can lag the moment both were available. Weak
+	// proxy: all kernels got assigned and the schedule validates (checked
+	// by run); additionally OLB must be worse than MET here.
+	met := e.run(t, g, NewMET(1))
+	if res.MakespanMs <= met.MakespanMs {
+		t.Errorf("OLB (%v) unexpectedly beat MET (%v) on a heterogeneous workload",
+			res.MakespanMs, met.MakespanMs)
+	}
+}
+
+func TestARDeterministicPerSeed(t *testing.T) {
+	e := testEnv{sys: platform.PaperSystem(4), tab: lut.Paper()}
+	g := workload.MustSuite(workload.Type2, 9)[1]
+	a := e.run(t, g, NewAR(5))
+	b := e.run(t, g, NewAR(5))
+	if a.MakespanMs != b.MakespanMs {
+		t.Fatalf("same seed, different makespans: %v vs %v", a.MakespanMs, b.MakespanMs)
+	}
+	c := e.run(t, g, NewAR(6))
+	if a.MakespanMs == c.MakespanMs {
+		t.Log("different seeds produced identical makespans (possible but unlikely)")
+	}
+}
+
+func TestARAssignsImmediately(t *testing.T) {
+	e := newEnv(t)
+	res := e.run(t, twoA(t), NewAR(1))
+	for i := range res.Placements {
+		if res.Placements[i].Assign != 0 {
+			t.Errorf("kernel %d assigned at %v, want 0", i, res.Placements[i].Assign)
+		}
+	}
+}
+
+func TestARFavoursFastProcessors(t *testing.T) {
+	e := newEnv(t)
+	// Many independent "a" kernels: the GPU (2 ms) should receive far more
+	// than the FPGA (50 ms) under inverse-time weighting (weights
+	// 0.1/0.5/0.02 -> GPU ~81%, CPU ~16%, FPGA ~3%).
+	b := dfg.NewBuilder()
+	const n = 400
+	for i := 0; i < n; i++ {
+		b.AddKernel(dfg.Kernel{Name: "a", DataElems: 1000})
+	}
+	g := b.MustBuild()
+	res := e.run(t, g, NewAR(7))
+	counts := map[platform.Kind]int{}
+	for i := range res.Placements {
+		counts[e.sys.KindOf(res.Placements[i].Proc)]++
+	}
+	if counts[platform.GPU] <= counts[platform.CPU] || counts[platform.CPU] <= counts[platform.FPGA] {
+		t.Errorf("AR counts = %v, want GPU > CPU > FPGA", counts)
+	}
+}

@@ -1,0 +1,194 @@
+package policy
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/dfg"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// PEFT implements the predict earliest finish time policy of Arabnejad &
+// Barbosa (paper §2.5.3, Eq. 6–7): a static list scheduler driven by an
+// optimistic cost table (OCT). OCT(tᵢ, pₖ) is the longest optimistic path
+// from tᵢ's children to the exit assuming tᵢ runs on pₖ, computed backwards
+// over the DAG (Eq. 6). Tasks are visited by decreasing rank_oct — the mean
+// of their OCT row (Eq. 7) — restricted to tasks whose predecessors are
+// already scheduled, and each is placed on the processor minimising the
+// optimistic EFT:
+//
+//	OEFT(tᵢ, pₖ) = EFT(tᵢ, pₖ) + OCT(tᵢ, pₖ)
+//
+// which looks one optimistic step ahead instead of committing to the
+// locally earliest finish as HEFT does.
+//
+// As with HEFT, the thesis evaluates a simplified selection rule — "the
+// assignments are made to the processor from A with the least sum of value
+// from the cost table and execution time of the kernel on that processor",
+// i.e. argmin over p of OCT(t, p) + w(t, p), with no queue-state or
+// data-ready term — and that flavor is the default here. Set Textbook for
+// Arabnejad & Barbosa's full OEFT = EFT + OCT selection with insertion.
+type PEFT struct {
+	// Textbook selects the original OEFT (insertion-based EFT + OCT)
+	// processor selection instead of the thesis's simplified rule.
+	Textbook bool
+	// NoInsertion disables the insertion slot search within the textbook
+	// variant. Ignored unless Textbook is set.
+	NoInsertion bool
+
+	plan staticPlan
+
+	// OCT, exposed after Prepare, is the optimistic cost table
+	// [kernel][processor].
+	OCT [][]float64
+	// RankOCT is the per-kernel mean OCT row.
+	RankOCT []float64
+	// PlannedMakespanMs is the plan's estimated makespan.
+	PlannedMakespanMs float64
+}
+
+// NewPEFT returns a PEFT policy.
+func NewPEFT() *PEFT { return &PEFT{} }
+
+// Name implements sim.Policy.
+func (pf *PEFT) Name() string { return "PEFT" }
+
+// Prepare implements sim.Policy.
+func (pf *PEFT) Prepare(c *sim.Costs) error {
+	g := c.Graph()
+	n := g.NumKernels()
+	np := c.System().NumProcs()
+
+	// OCT per Eq. 6, computed in reverse topological order. For exit tasks
+	// every entry is zero.
+	pf.OCT = make([][]float64, n)
+	for i := range pf.OCT {
+		pf.OCT[i] = make([]float64, np)
+	}
+	order := g.TopoOrder()
+	for i := n - 1; i >= 0; i-- {
+		ti := order[i]
+		cMean := c.MeanTransfer(ti)
+		for pk := 0; pk < np; pk++ {
+			best := 0.0
+			for _, tj := range g.Succs(ti) {
+				inner := math.Inf(1)
+				for pw := 0; pw < np; pw++ {
+					v := pf.OCT[tj][pw] + c.Exec(tj, platform.ProcID(pw))
+					if pw != pk {
+						v += cMean
+					}
+					if v < inner {
+						inner = v
+					}
+				}
+				if inner > best {
+					best = inner
+				}
+			}
+			pf.OCT[ti][pk] = best
+		}
+	}
+
+	// rank_oct per Eq. 7.
+	pf.RankOCT = make([]float64, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for pk := 0; pk < np; pk++ {
+			sum += pf.OCT[i][pk]
+		}
+		pf.RankOCT[i] = sum / float64(np)
+	}
+
+	// Visit order: repeatedly take the highest-rank_oct task among those
+	// whose predecessors are all scheduled (PEFT's ready list). rank_oct is
+	// not monotone along edges, so unlike HEFT a global sort could violate
+	// precedence; the ready-list loop cannot.
+	visit := pf.visitOrder(g)
+
+	var tasks []plannedTask
+	var err error
+	if pf.Textbook {
+		tasks, err = listSchedule(c, visit, pf.NoInsertion, func(k dfg.KernelID, est, eft []float64) int {
+			best := 0
+			bestV := math.Inf(1)
+			for p := 0; p < np; p++ {
+				if v := eft[p] + pf.OCT[k][p]; v < bestV {
+					bestV, best = v, p
+				}
+			}
+			return best
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		tasks = bookingSchedule(c, visit, func(k dfg.KernelID, booked []float64) int {
+			// Thesis rule: least (cost-table value + execution time).
+			best := 0
+			bestV := math.Inf(1)
+			for p := 0; p < np; p++ {
+				if v := pf.OCT[k][p] + c.Exec(k, platform.ProcID(p)); v < bestV {
+					bestV, best = v, p
+				}
+			}
+			return best
+		})
+	}
+	pf.PlannedMakespanMs = plannedMakespan(tasks)
+	pf.plan.set(tasks)
+	return nil
+}
+
+// visitOrder returns kernels by decreasing rank_oct constrained to
+// precedence order.
+func (pf *PEFT) visitOrder(g *dfg.Graph) []dfg.KernelID {
+	n := g.NumKernels()
+	indeg := make([]int, n)
+	h := &rankHeap{rank: pf.RankOCT}
+	for i := 0; i < n; i++ {
+		indeg[i] = g.InDegree(dfg.KernelID(i))
+		if indeg[i] == 0 {
+			heap.Push(h, dfg.KernelID(i))
+		}
+	}
+	out := make([]dfg.KernelID, 0, n)
+	for h.Len() > 0 {
+		k := heap.Pop(h).(dfg.KernelID)
+		out = append(out, k)
+		for _, s := range g.Succs(k) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				heap.Push(h, s)
+			}
+		}
+	}
+	return out
+}
+
+// Select implements sim.Policy.
+func (pf *PEFT) Select(*sim.State) []sim.Assignment { return pf.plan.release() }
+
+// rankHeap pops the kernel with the highest rank, ties to lower ID.
+type rankHeap struct {
+	rank []float64
+	ks   []dfg.KernelID
+}
+
+func (h *rankHeap) Len() int { return len(h.ks) }
+func (h *rankHeap) Less(i, j int) bool {
+	a, b := h.ks[i], h.ks[j]
+	if h.rank[a] != h.rank[b] {
+		return h.rank[a] > h.rank[b]
+	}
+	return a < b
+}
+func (h *rankHeap) Swap(i, j int)       { h.ks[i], h.ks[j] = h.ks[j], h.ks[i] }
+func (h *rankHeap) Push(x interface{})  { h.ks = append(h.ks, x.(dfg.KernelID)) }
+func (h *rankHeap) Pop() interface{} {
+	n := len(h.ks)
+	k := h.ks[n-1]
+	h.ks = h.ks[:n-1]
+	return k
+}

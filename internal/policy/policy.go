@@ -1,0 +1,76 @@
+// Package policy implements the six state-of-the-art scheduling policies
+// the thesis analyses and compares APT against (paper §2.5.3, Table 2):
+//
+//   - MET  — minimum execution time / best-only (Braun et al.), dynamic
+//   - SPN  — shortest process next (Khokhar et al.), dynamic
+//   - SS   — serial scheduling by compute-time standard deviation
+//     (Liu & Yang), dynamic
+//   - AG   — adaptive greedy (Wu et al.), dynamic, queue+transfer aware
+//   - HEFT — heterogeneous earliest finish time (Topcuoglu et al.), static
+//   - PEFT — predict earliest finish time (Arabnejad & Barbosa), static
+//
+// All policies implement sim.Policy. Dynamic policies inspect only the
+// ready set and the live system state; static policies compute a complete
+// schedule in Prepare from the full DFG and release it at time zero.
+package policy
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dfg"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// availSet tracks processor availability while a policy builds one batch of
+// assignments within a single Select call: a processor consumed by an
+// assignment in this batch is no longer available to later kernels.
+type availSet struct {
+	avail map[platform.ProcID]bool
+	n     int
+}
+
+func newAvailSet(st *sim.State) *availSet {
+	s := &availSet{avail: map[platform.ProcID]bool{}}
+	for _, p := range st.AvailableProcs() {
+		s.avail[p] = true
+		s.n++
+	}
+	return s
+}
+
+func (s *availSet) has(p platform.ProcID) bool { return s.avail[p] }
+func (s *availSet) empty() bool                { return s.n == 0 }
+
+func (s *availSet) take(p platform.ProcID) {
+	if s.avail[p] {
+		s.avail[p] = false
+		s.n--
+	}
+}
+
+// procs returns the currently available processors in ID order.
+func (s *availSet) procs() []platform.ProcID {
+	out := make([]platform.ProcID, 0, s.n)
+	for p, ok := range s.avail {
+		if ok {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// bestAvailable returns the available processor with the minimum execution
+// time for kernel k, or -1 if none is available. Ties break to lower ID.
+func (s *availSet) bestAvailable(c *sim.Costs, k dfg.KernelID) (platform.ProcID, float64) {
+	best := platform.ProcID(-1)
+	bestMs := math.Inf(1)
+	for _, p := range s.procs() {
+		if ms := c.Exec(k, p); ms < bestMs {
+			best, bestMs = p, ms
+		}
+	}
+	return best, bestMs
+}

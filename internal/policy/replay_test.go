@@ -1,0 +1,69 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lut"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestReplayReproducesIdenticalEnvironment(t *testing.T) {
+	e := testEnv{sys: platform.PaperSystem(4), tab: lut.Paper()}
+	g := workload.MustSuite(workload.Type2, workload.DefaultSuiteSeed)[0]
+	orig := e.run(t, g, core.New(4))
+	replayed := e.run(t, g, NewReplay(orig))
+	if math.Abs(replayed.MakespanMs-orig.MakespanMs) > 1e-6 {
+		t.Errorf("replay makespan %v != original %v", replayed.MakespanMs, orig.MakespanMs)
+	}
+	for i := range orig.Placements {
+		if replayed.Placements[i].Proc != orig.Placements[i].Proc {
+			t.Fatalf("kernel %d replayed on %d, ran on %d",
+				i, replayed.Placements[i].Proc, orig.Placements[i].Proc)
+		}
+	}
+}
+
+func TestReplayWhatIfFasterLinks(t *testing.T) {
+	// Record at 4 GB/s, replay the same decisions at 8 GB/s: placements
+	// identical, makespan must not get worse (transfers only shrink).
+	slow := testEnv{sys: platform.PaperSystem(4), tab: lut.Paper()}
+	fast := testEnv{sys: platform.PaperSystem(8), tab: lut.Paper()}
+	g := workload.MustSuite(workload.Type2, workload.DefaultSuiteSeed)[1]
+	orig := slow.run(t, g, core.New(4))
+	whatIf := fast.run(t, g, NewReplay(orig))
+	if whatIf.MakespanMs > orig.MakespanMs+1e-6 {
+		t.Errorf("faster links made the replay slower: %v vs %v", whatIf.MakespanMs, orig.MakespanMs)
+	}
+	for i := range orig.Placements {
+		if whatIf.Placements[i].Proc != orig.Placements[i].Proc {
+			t.Fatalf("what-if changed placement of kernel %d", i)
+		}
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	e := testEnv{sys: platform.PaperSystem(4), tab: lut.Paper()}
+	g := workload.MustSuite(workload.Type1, workload.DefaultSuiteSeed)[0]
+	c := e.costs(t, g)
+	if err := NewReplay(nil).Prepare(c); err == nil {
+		t.Error("nil source accepted")
+	}
+	other := workload.MustSuite(workload.Type1, workload.DefaultSuiteSeed)[1]
+	res := e.run(t, other, NewMET(1))
+	if err := NewReplay(res).Prepare(c); err == nil {
+		t.Error("mismatched kernel count accepted")
+	}
+}
+
+func TestReplayName(t *testing.T) {
+	if got := NewReplay(nil).Name(); got != "Replay" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := NewReplay(&sim.Result{Policy: "APT"}).Name(); got != "Replay(APT)" {
+		t.Errorf("Name = %q", got)
+	}
+}

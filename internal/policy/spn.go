@@ -1,0 +1,60 @@
+package policy
+
+import (
+	"math"
+
+	"repro/internal/dfg"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// SPN implements shortest process next (Khokhar et al., paper §2.5.3): it
+// repeatedly picks the ready kernel with the minimum execution time on any
+// currently available processor and assigns it there, for as long as both a
+// kernel and a processor remain — the system is never left idle while work
+// exists. SPN ignores how much slower the chosen processor is than the
+// kernel's true best one, disregarding the heterogeneity of the system.
+type SPN struct {
+	c *sim.Costs
+}
+
+// NewSPN returns an SPN policy.
+func NewSPN() *SPN { return &SPN{} }
+
+// Name implements sim.Policy.
+func (s *SPN) Name() string { return "SPN" }
+
+// Prepare implements sim.Policy.
+func (s *SPN) Prepare(c *sim.Costs) error {
+	s.c = c
+	return nil
+}
+
+// Select implements sim.Policy.
+func (s *SPN) Select(st *sim.State) []sim.Assignment {
+	ready := st.Ready()
+	avail := newAvailSet(st)
+	taken := map[dfg.KernelID]bool{}
+	var out []sim.Assignment
+	for !avail.empty() {
+		bestK := dfg.KernelID(-1)
+		bestP := platform.ProcID(-1)
+		bestMs := math.Inf(1)
+		for _, k := range ready {
+			if taken[k] {
+				continue
+			}
+			p, ms := avail.bestAvailable(s.c, k)
+			if p >= 0 && ms < bestMs {
+				bestK, bestP, bestMs = k, p, ms
+			}
+		}
+		if bestK < 0 {
+			break // no schedulable kernel left
+		}
+		taken[bestK] = true
+		avail.take(bestP)
+		out = append(out, sim.Assignment{Kernel: bestK, Proc: bestP})
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package policy
+
+import (
+	"repro/internal/dfg"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// SS implements the priority-rule-based serial scheduling policy of Liu &
+// Yang (paper §2.5.3): for every ready kernel it computes the standard
+// deviation of its compute times across the currently available
+// processors, picks the kernel with the highest standard deviation (the
+// one for which the choice of processor matters most right now), and
+// assigns it to the available processor with the lowest execution time.
+// Assignments continue while both kernels and processors remain; like SPN,
+// SS will settle for a slow processor rather than wait for the best one.
+type SS struct {
+	c *sim.Costs
+}
+
+// NewSS returns an SS policy.
+func NewSS() *SS { return &SS{} }
+
+// Name implements sim.Policy.
+func (s *SS) Name() string { return "SS" }
+
+// Prepare implements sim.Policy.
+func (s *SS) Prepare(c *sim.Costs) error {
+	s.c = c
+	return nil
+}
+
+// Select implements sim.Policy.
+func (s *SS) Select(st *sim.State) []sim.Assignment {
+	ready := st.Ready()
+	avail := newAvailSet(st)
+	taken := map[dfg.KernelID]bool{}
+	var out []sim.Assignment
+	for !avail.empty() {
+		procs := avail.procs()
+		if len(procs) == 0 {
+			break
+		}
+		bestK := dfg.KernelID(-1)
+		bestSD := -1.0
+		for _, k := range ready {
+			if taken[k] {
+				continue
+			}
+			times := make([]float64, len(procs))
+			for i, p := range procs {
+				times[i] = s.c.Exec(k, p)
+			}
+			if sd := stats.StdDev(times); sd > bestSD {
+				bestSD, bestK = sd, k
+			}
+		}
+		if bestK < 0 {
+			break
+		}
+		p, _ := avail.bestAvailable(s.c, bestK)
+		taken[bestK] = true
+		avail.take(p)
+		out = append(out, sim.Assignment{Kernel: bestK, Proc: p})
+	}
+	return out
+}

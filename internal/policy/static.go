@@ -1,0 +1,191 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dfg"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// timeline is one processor's planned occupancy during static list
+// scheduling, supporting the insertion-based slot search HEFT and PEFT use:
+// a task may be planned into an idle gap between two already-planned tasks
+// if the gap is long enough. With noInsertion set, tasks only ever append
+// after the last planned task (the "non-insertion" variant common in
+// reimplementations; exposed for ablation).
+type timeline struct {
+	// intervals are kept sorted by start; they never overlap.
+	starts, ends []float64
+	noInsertion  bool
+}
+
+// earliestSlot returns the earliest start >= ready that fits dur.
+func (tl *timeline) earliestSlot(ready, dur float64) float64 {
+	prevEnd := 0.0
+	if tl.noInsertion {
+		if n := len(tl.ends); n > 0 {
+			prevEnd = tl.ends[n-1]
+		}
+		return math.Max(ready, prevEnd)
+	}
+	for i := range tl.starts {
+		gapStart := math.Max(ready, prevEnd)
+		if tl.starts[i]-gapStart >= dur {
+			return gapStart
+		}
+		prevEnd = tl.ends[i]
+	}
+	return math.Max(ready, prevEnd)
+}
+
+// insert books [start, start+dur). Caller must have obtained start from
+// earliestSlot with the same dur.
+func (tl *timeline) insert(start, dur float64) {
+	i := sort.SearchFloat64s(tl.starts, start)
+	tl.starts = append(tl.starts, 0)
+	tl.ends = append(tl.ends, 0)
+	copy(tl.starts[i+1:], tl.starts[i:])
+	copy(tl.ends[i+1:], tl.ends[i:])
+	tl.starts[i] = start
+	tl.ends[i] = start + dur
+}
+
+// plannedTask is one entry of a static schedule.
+type plannedTask struct {
+	kernel dfg.KernelID
+	proc   platform.ProcID
+	start  float64 // planned (estimated) start; actual times may differ
+	finish float64
+}
+
+// listSchedule runs insertion-based list scheduling: tasks are visited in
+// the given priority order (which must be a linear extension of the
+// dependency order, i.e. every task after its predecessors) and each is
+// planned onto the processor chosen by pick, which receives the task and
+// the earliest-finish-time candidate on every processor and returns the
+// index of the processor to use.
+//
+// eft[p] already includes data-ready time: max over predecessors of
+// (planned finish + transfer between the planned processors), with
+// transfers between co-located tasks free. This matches HEFT's EFT phase
+// with actual (not averaged) execution and link costs.
+func listSchedule(
+	c *sim.Costs,
+	order []dfg.KernelID,
+	noInsertion bool,
+	pick func(k dfg.KernelID, est, eft []float64) int,
+) ([]plannedTask, error) {
+	g := c.Graph()
+	np := c.System().NumProcs()
+	tls := make([]timeline, np)
+	for i := range tls {
+		tls[i].noInsertion = noInsertion
+	}
+	placed := make(map[dfg.KernelID]*plannedTask, len(order))
+
+	var out []plannedTask
+	for _, k := range order {
+		est := make([]float64, np)
+		eft := make([]float64, np)
+		for p := 0; p < np; p++ {
+			pid := platform.ProcID(p)
+			ready := 0.0
+			for _, pred := range g.Preds(k) {
+				pt, ok := placed[pred]
+				if !ok {
+					return nil, fmt.Errorf("policy: order visits kernel %d before predecessor %d", k, pred)
+				}
+				arrive := pt.finish + c.TransferMs(g.Kernel(pred).OutElems, pt.proc, pid)
+				if arrive > ready {
+					ready = arrive
+				}
+			}
+			dur := c.Exec(k, pid)
+			est[p] = tls[p].earliestSlot(ready, dur)
+			eft[p] = est[p] + dur
+		}
+		p := pick(k, est, eft)
+		if p < 0 || p >= np {
+			return nil, fmt.Errorf("policy: pick returned invalid processor %d for kernel %d", p, k)
+		}
+		dur := c.Exec(k, platform.ProcID(p))
+		tls[p].insert(est[p], dur)
+		pt := &plannedTask{kernel: k, proc: platform.ProcID(p), start: est[p], finish: est[p] + dur}
+		placed[k] = pt
+		out = append(out, *pt)
+	}
+	return out, nil
+}
+
+// bookingSchedule runs the thesis's simplified static planning: tasks are
+// visited in the given priority order (a linear extension of the
+// dependency order) and each is booked onto the processor chosen by pick,
+// which sees only how much work is already booked per processor. Planned
+// starts ignore data-ready times — at execution the engine makes each
+// processor wait for real dependencies, so the plan's per-processor
+// *order* is what matters.
+func bookingSchedule(
+	c *sim.Costs,
+	order []dfg.KernelID,
+	pick func(k dfg.KernelID, booked []float64) int,
+) []plannedTask {
+	np := c.System().NumProcs()
+	booked := make([]float64, np)
+	out := make([]plannedTask, 0, len(order))
+	for _, k := range order {
+		p := pick(k, booked)
+		dur := c.Exec(k, platform.ProcID(p))
+		out = append(out, plannedTask{
+			kernel: k,
+			proc:   platform.ProcID(p),
+			start:  booked[p],
+			finish: booked[p] + dur,
+		})
+		booked[p] += dur
+	}
+	return out
+}
+
+// staticPlan replays a precomputed schedule through the dynamic engine: at
+// the first Select call it commits every kernel to its planned processor,
+// ordered by planned start time, so each processor's FIFO queue reproduces
+// the planned per-processor execution order. (Actual times can deviate
+// from planned ones — the plan's transfer estimates assume transfers do
+// not occupy the processor, while the simulated system charges them to it
+// — but the planned order is what defines HEFT/PEFT.)
+type staticPlan struct {
+	tasks    []plannedTask
+	released bool
+}
+
+func (sp *staticPlan) set(tasks []plannedTask) {
+	sp.tasks = append([]plannedTask(nil), tasks...)
+	sort.SliceStable(sp.tasks, func(i, j int) bool { return sp.tasks[i].start < sp.tasks[j].start })
+	sp.released = false
+}
+
+func (sp *staticPlan) release() []sim.Assignment {
+	if sp.released {
+		return nil
+	}
+	sp.released = true
+	out := make([]sim.Assignment, len(sp.tasks))
+	for i, t := range sp.tasks {
+		out[i] = sim.Assignment{Kernel: t.kernel, Proc: t.proc}
+	}
+	return out
+}
+
+// PlannedMakespan returns the estimated makespan of a planned schedule.
+func plannedMakespan(tasks []plannedTask) float64 {
+	var m float64
+	for _, t := range tasks {
+		if t.finish > m {
+			m = t.finish
+		}
+	}
+	return m
+}

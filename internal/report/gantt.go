@@ -1,0 +1,67 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/dfg"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// Gantt renders a finished simulation as a per-processor event log in the
+// style of the thesis's Figure 5: one line per state change, listing what
+// each processor is doing and the timestamp the system entered that state.
+func Gantt(w io.Writer, res *sim.Result, g *dfg.Graph, sys *platform.System) error {
+	type evt struct {
+		at    float64
+		text  string
+		order int
+	}
+	var events []evt
+	for i := range res.Placements {
+		pl := res.Placements[i]
+		k := g.Kernel(pl.Kernel)
+		name := sys.Proc(pl.Proc).Name
+		events = append(events, evt{pl.ExecStart, fmt.Sprintf("%s: start %d-%s", name, pl.Kernel, k.Name), 0})
+		events = append(events, evt{pl.Finish, fmt.Sprintf("%s: finish %d-%s", name, pl.Kernel, k.Name), 1})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].order < events[j].order
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s schedule (makespan %.3f ms):\n", res.Policy, res.MakespanMs)
+	for _, e := range events {
+		fmt.Fprintf(&sb, "  t=%10.3f  %s\n", e.at, e.text)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Utilisation renders the per-processor time accounting of a run.
+func Utilisation(w io.Writer, res *sim.Result, sys *platform.System) error {
+	t := Table{
+		Title:   fmt.Sprintf("%s per-processor utilisation (makespan %.3f ms)", res.Policy, res.MakespanMs),
+		Headers: []string{"Processor", "Kernels", "Exec (ms)", "Transfer (ms)", "Idle (ms)", "Busy %"},
+	}
+	for _, st := range res.ProcStats {
+		busyPct := 0.0
+		if res.MakespanMs > 0 {
+			busyPct = (st.ExecMs + st.XferMs) / res.MakespanMs * 100
+		}
+		t.MustAddRow(
+			sys.Proc(st.Proc).Name,
+			fmt.Sprintf("%d", st.Kernels),
+			Ms(st.ExecMs),
+			Ms(st.XferMs),
+			Ms(st.IdleMs),
+			fmt.Sprintf("%.1f", busyPct),
+		)
+	}
+	return t.Render(w)
+}

@@ -1,0 +1,166 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"math"
+	"strings"
+)
+
+// HTMLReport assembles artifacts into one self-contained HTML document —
+// tables as styled <table>s, figures as inline SVG grouped bar charts — so
+// a full paper regeneration can be reviewed in a browser without any
+// external tooling.
+type HTMLReport struct {
+	Title    string
+	sections []string
+}
+
+// NewHTMLReport returns an empty report with the given page title.
+func NewHTMLReport(title string) *HTMLReport { return &HTMLReport{Title: title} }
+
+// AddTable appends a table section.
+func (h *HTMLReport) AddTable(t *Table) {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "<h2>%s</h2>\n", html.EscapeString(t.Title))
+	}
+	sb.WriteString("<table>\n<thead><tr>")
+	for _, hd := range t.Headers {
+		fmt.Fprintf(&sb, "<th>%s</th>", html.EscapeString(hd))
+	}
+	sb.WriteString("</tr></thead>\n<tbody>\n")
+	for _, row := range t.Rows {
+		sb.WriteString("<tr>")
+		for _, c := range row {
+			fmt.Fprintf(&sb, "<td>%s</td>", html.EscapeString(c))
+		}
+		sb.WriteString("</tr>\n")
+	}
+	sb.WriteString("</tbody></table>\n")
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "<p class=\"note\">%s</p>\n", html.EscapeString(n))
+	}
+	h.sections = append(h.sections, sb.String())
+}
+
+// chart geometry constants.
+const (
+	chartW      = 720
+	chartH      = 260
+	chartMargin = 46
+)
+
+// chartPalette colours series in order.
+var chartPalette = []string{"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377"}
+
+// AddFigure appends a grouped-bar SVG section for the figure.
+func (h *HTMLReport) AddFigure(f *Figure) {
+	var sb strings.Builder
+	if f.Title != "" {
+		fmt.Fprintf(&sb, "<h2>%s</h2>\n", html.EscapeString(f.Title))
+	}
+	max := 0.0
+	for _, s := range f.Series {
+		for _, y := range s.Y {
+			if !math.IsNaN(y) && !math.IsInf(y, 0) && y > max {
+				max = y
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	plotW := float64(chartW - 2*chartMargin)
+	plotH := float64(chartH - 2*chartMargin)
+	groups := len(f.X)
+	series := len(f.Series)
+	groupW := plotW / float64(groups)
+	barW := groupW * 0.8 / float64(series)
+
+	fmt.Fprintf(&sb, `<svg width="%d" height="%d" viewBox="0 0 %d %d" role="img">`,
+		chartW, chartH, chartW, chartH)
+	sb.WriteString("\n")
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`,
+		chartMargin, chartH-chartMargin, chartW-chartMargin, chartH-chartMargin)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`,
+		chartMargin, chartMargin, chartMargin, chartH-chartMargin)
+	// Max label.
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="10" text-anchor="end">%.3g</text>`,
+		chartMargin-4, chartMargin+4, max)
+	sb.WriteString("\n")
+	for si, s := range f.Series {
+		colour := chartPalette[si%len(chartPalette)]
+		for xi, y := range s.Y {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			hgt := y / max * plotH
+			x := float64(chartMargin) + float64(xi)*groupW + groupW*0.1 + float64(si)*barW
+			yTop := float64(chartH-chartMargin) - hgt
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s @ %s: %.4g</title></rect>`,
+				x, yTop, barW, hgt, colour,
+				html.EscapeString(s.Name), html.EscapeString(f.X[xi]), y)
+			sb.WriteString("\n")
+		}
+	}
+	// X labels.
+	for xi, xl := range f.X {
+		cx := float64(chartMargin) + (float64(xi)+0.5)*groupW
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%s</text>`,
+			cx, chartH-chartMargin+14, html.EscapeString(xl))
+		sb.WriteString("\n")
+	}
+	// Legend.
+	for si, s := range f.Series {
+		colour := chartPalette[si%len(chartPalette)]
+		lx := chartMargin + si*130
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`, lx, 8, colour)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="11">%s</text>`, lx+14, 17, html.EscapeString(s.Name))
+		sb.WriteString("\n")
+	}
+	sb.WriteString("</svg>\n")
+	if f.YLabel != "" {
+		fmt.Fprintf(&sb, "<p class=\"note\">y: %s; x: %s</p>\n",
+			html.EscapeString(f.YLabel), html.EscapeString(f.XLabel))
+	}
+	h.sections = append(h.sections, sb.String())
+}
+
+// AddText appends a preformatted text section.
+func (h *HTMLReport) AddText(caption, text string) {
+	var sb strings.Builder
+	if caption != "" {
+		fmt.Fprintf(&sb, "<h2>%s</h2>\n", html.EscapeString(caption))
+	}
+	fmt.Fprintf(&sb, "<pre>%s</pre>\n", html.EscapeString(text))
+	h.sections = append(h.sections, sb.String())
+}
+
+// Render writes the complete document.
+func (h *HTMLReport) Render(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&sb, "<title>%s</title>\n", html.EscapeString(h.Title))
+	sb.WriteString(`<style>
+body { font: 14px/1.45 system-ui, sans-serif; margin: 2rem auto; max-width: 64rem; padding: 0 1rem; color: #222; }
+h1 { border-bottom: 2px solid #4477aa; padding-bottom: .3rem; }
+h2 { margin-top: 2.2rem; }
+table { border-collapse: collapse; margin: .6rem 0; }
+th, td { border: 1px solid #bbb; padding: .25rem .55rem; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+thead { background: #eef3f8; }
+pre { background: #f6f6f6; padding: .8rem; overflow-x: auto; }
+.note { color: #555; font-style: italic; }
+</style></head><body>
+`)
+	fmt.Fprintf(&sb, "<h1>%s</h1>\n", html.EscapeString(h.Title))
+	for _, s := range h.sections {
+		sb.WriteString(s)
+	}
+	sb.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

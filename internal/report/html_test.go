@@ -1,0 +1,82 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHTMLReportTable(t *testing.T) {
+	tab := &Table{Title: "T<1>", Headers: []string{"a", "b"}, Notes: []string{"n&1"}}
+	tab.MustAddRow("1", "<x>")
+	h := NewHTMLReport("Report & Title")
+	h.AddTable(tab)
+	var buf bytes.Buffer
+	if err := h.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"Report &amp; Title",
+		"T&lt;1&gt;",
+		"<td>&lt;x&gt;</td>",
+		"n&amp;1",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "<x>") {
+		t.Error("unescaped cell content leaked into HTML")
+	}
+}
+
+func TestHTMLReportFigureSVG(t *testing.T) {
+	f := &Figure{Title: "Fig", XLabel: "α", YLabel: "ms", X: []string{"1.5", "4", "16"}}
+	f.MustAddSeries("4 GBps", []float64{10, 5, 8})
+	f.MustAddSeries("8 GBps", []float64{9, 4, 7})
+	h := NewHTMLReport("r")
+	h.AddFigure(f)
+	var buf bytes.Buffer
+	if err := h.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "<svg") || !strings.Contains(s, "</svg>") {
+		t.Fatal("no SVG emitted")
+	}
+	// 2 series x 3 points = 6 bars plus 2 legend swatches.
+	if got := strings.Count(s, "<rect"); got != 8 {
+		t.Errorf("rect count = %d, want 8", got)
+	}
+	for _, want := range []string{"4 GBps", "8 GBps", "1.5", "16"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestHTMLReportText(t *testing.T) {
+	h := NewHTMLReport("r")
+	h.AddText("Cap", "line1\n<line2>")
+	var buf bytes.Buffer
+	if err := h.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "<pre>line1\n&lt;line2&gt;</pre>") {
+		t.Errorf("pre block wrong:\n%s", s)
+	}
+}
+
+func TestHTMLReportFigureAllZero(t *testing.T) {
+	f := &Figure{X: []string{"a"}}
+	f.MustAddSeries("s", []float64{0})
+	h := NewHTMLReport("r")
+	h.AddFigure(f) // must not divide by zero
+	var buf bytes.Buffer
+	if err := h.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is figure data: one named line of (x label, y value) points.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Figure is a titled family of series over shared x labels — the shape of
+// every figure in the paper's evaluation (bars over α values, lines over
+// experiment numbers, ...).
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []string
+	Series []Series
+}
+
+// AddSeries appends a series; its length must match the x axis.
+func (f *Figure) AddSeries(name string, y []float64) error {
+	if len(y) != len(f.X) {
+		return fmt.Errorf("report: series %q has %d points, x axis has %d", name, len(y), len(f.X))
+	}
+	f.Series = append(f.Series, Series{Name: name, Y: append([]float64(nil), y...)})
+	return nil
+}
+
+// MustAddSeries is AddSeries, panicking on mismatch.
+func (f *Figure) MustAddSeries(name string, y []float64) {
+	if err := f.AddSeries(name, y); err != nil {
+		panic(err)
+	}
+}
+
+// WriteCSV emits x,series1,series2,... rows suitable for external plotting.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, x := range f.X {
+		rec := []string{x}
+		for _, s := range f.Series {
+			rec = append(rec, fmt.Sprintf("%g", s.Y[i]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Render draws a crude horizontal bar chart per series — enough to eyeball
+// the paper's "valley" trends in a terminal.
+func (f *Figure) Render(w io.Writer) error {
+	var sb strings.Builder
+	if f.Title != "" {
+		sb.WriteString(f.Title + "\n")
+	}
+	max := 0.0
+	for _, s := range f.Series {
+		for _, y := range s.Y {
+			if !math.IsInf(y, 0) && !math.IsNaN(y) && y > max {
+				max = y
+			}
+		}
+	}
+	const barWidth = 48
+	xw := len(f.XLabel)
+	for _, x := range f.X {
+		if len(x) > xw {
+			xw = len(x)
+		}
+	}
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, "%s:\n", s.Name)
+		for i, x := range f.X {
+			n := 0
+			if max > 0 {
+				n = int(s.Y[i] / max * barWidth)
+			}
+			fmt.Fprintf(&sb, "  %s  %s %.3f\n", pad(x, xw), strings.Repeat("#", n), s.Y[i])
+		}
+	}
+	if f.YLabel != "" {
+		fmt.Fprintf(&sb, "(y: %s)\n", f.YLabel)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

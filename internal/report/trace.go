@@ -1,0 +1,76 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/dfg"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// traceEvent is one Chrome trace-event ("Trace Event Format", the JSON
+// array flavour). Durations and timestamps are microseconds.
+type traceEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`
+	Dur   float64           `json:"dur"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders a finished simulation in Chrome's trace-event
+// format: open chrome://tracing (or https://ui.perfetto.dev) and load the
+// file to inspect the schedule visually. Each processor is one row (tid);
+// transfers and executions appear as separate slices.
+func WriteChromeTrace(w io.Writer, res *sim.Result, g *dfg.Graph, sys *platform.System) error {
+	const msToUs = 1000.0
+	var events []traceEvent
+	// Row-name metadata per processor.
+	for _, p := range sys.Procs() {
+		events = append(events, traceEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   int(p.ID),
+			Args:  map[string]string{"name": p.Name},
+		})
+	}
+	for i := range res.Placements {
+		pl := res.Placements[i]
+		k := g.Kernel(pl.Kernel)
+		if xfer := pl.ExecStart - pl.TransferStart; xfer > 0 {
+			events = append(events, traceEvent{
+				Name:  fmt.Sprintf("xfer %d-%s", pl.Kernel, k.Name),
+				Cat:   "transfer",
+				Phase: "X",
+				TS:    pl.TransferStart * msToUs,
+				Dur:   xfer * msToUs,
+				PID:   1,
+				TID:   int(pl.Proc),
+			})
+		}
+		events = append(events, traceEvent{
+			Name:  fmt.Sprintf("%d-%s", pl.Kernel, k.Name),
+			Cat:   "exec",
+			Phase: "X",
+			TS:    pl.ExecStart * msToUs,
+			Dur:   (pl.Finish - pl.ExecStart) * msToUs,
+			PID:   1,
+			TID:   int(pl.Proc),
+			Args: map[string]string{
+				"kernel":    k.Name,
+				"dataElems": fmt.Sprintf("%d", k.DataElems),
+				"lambdaMs":  fmt.Sprintf("%.3f", pl.Lambda()),
+			},
+		})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

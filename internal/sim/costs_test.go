@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dfg"
+	"repro/internal/platform"
+)
+
+func TestPrepareCostsValidation(t *testing.T) {
+	env := tiny(t, 4)
+	g := singleKernelGraph(t)
+	if _, err := PrepareCosts(nil, env.sys, env.tab, CostConfig{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := PrepareCosts(g, env.sys, env.tab, CostConfig{ElemBytes: -1}); err == nil {
+		t.Error("negative ElemBytes accepted")
+	}
+	// Kernel missing from the table.
+	b := dfg.NewBuilder()
+	b.AddKernel(dfg.Kernel{Name: "mystery", DataElems: 10})
+	bad := b.MustBuild()
+	if _, err := PrepareCosts(bad, env.sys, env.tab, CostConfig{}); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestCostsExecAndBest(t *testing.T) {
+	env := tiny(t, 4)
+	b := dfg.NewBuilder()
+	ka := b.AddKernel(dfg.Kernel{Name: "a", DataElems: 1000})
+	kb := b.AddKernel(dfg.Kernel{Name: "b", DataElems: 1000})
+	g := b.MustBuild()
+	c := mustCosts(t, g, env)
+
+	cpu := env.sys.ByKind(platform.CPU)[0]
+	gpu := env.sys.ByKind(platform.GPU)[0]
+	fpga := env.sys.ByKind(platform.FPGA)[0]
+
+	if got := c.Exec(ka, cpu); got != 10 {
+		t.Errorf("Exec(a,cpu) = %v, want 10", got)
+	}
+	if p, ms := c.BestProc(ka); p != gpu || ms != 2 {
+		t.Errorf("BestProc(a) = %d/%v, want gpu/2", p, ms)
+	}
+	if p, ms := c.BestProc(kb); p != fpga || ms != 1 {
+		t.Errorf("BestProc(b) = %d/%v, want fpga/1", p, ms)
+	}
+	if got := c.MeanExec(ka); math.Abs(got-(10+2+50)/3.0) > 1e-9 {
+		t.Errorf("MeanExec(a) = %v", got)
+	}
+	ranked := c.RankedProcs(ka)
+	if ranked[0] != gpu || ranked[1] != cpu || ranked[2] != fpga {
+		t.Errorf("RankedProcs(a) = %v, want [gpu cpu fpga]", ranked)
+	}
+}
+
+func TestTransferMs(t *testing.T) {
+	env := tiny(t, 4) // 4 GB/s
+	c := mustCosts(t, singleKernelGraph(t), env)
+	if got := c.TransferMs(1000, 0, 0); got != 0 {
+		t.Errorf("same-proc transfer = %v, want 0", got)
+	}
+	// 1e6 elems * 4 B = 4e6 B at 4e6 B/ms = 1 ms.
+	if got := c.TransferMs(1_000_000, 0, 1); math.Abs(got-1) > 1e-9 {
+		t.Errorf("transfer = %v, want 1", got)
+	}
+}
+
+func TestTransferUnusableLink(t *testing.T) {
+	b := platform.NewBuilder()
+	p0 := b.AddProcessor(platform.CPU, "")
+	p1 := b.AddProcessor(platform.GPU, "")
+	sys := b.MustBuild() // no rates set: links are 0 GB/s
+	tab := tiny(t, 4).tab
+	gb := dfg.NewBuilder()
+	gb.AddKernel(dfg.Kernel{Name: "a", DataElems: 1000})
+	g := gb.MustBuild()
+	c, err := PrepareCosts(g, sys, tab, CostConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TransferMs(1, p0, p1); got != unusableLinkMs {
+		t.Errorf("unusable link priced %v, want %v", got, unusableLinkMs)
+	}
+}
+
+func TestTransferInModes(t *testing.T) {
+	env := tiny(t, 4)
+	b := dfg.NewBuilder()
+	// Two predecessors, each shipping 1e6 elements (1 ms each on 4 GB/s).
+	p1 := b.AddKernel(dfg.Kernel{Name: "a", DataElems: 1_000_000})
+	p2 := b.AddKernel(dfg.Kernel{Name: "a", DataElems: 1_000_000})
+	k := b.AddKernel(dfg.Kernel{Name: "b", DataElems: 1000})
+	b.AddEdge(p1, k).AddEdge(p2, k)
+	g := b.MustBuild()
+
+	cpu := platform.ProcID(0)
+	gpu := platform.ProcID(1)
+	fpga := platform.ProcID(2)
+	placement := func(dfg.KernelID) platform.ProcID { return gpu } // both preds on GPU
+
+	cMax, err := PrepareCosts(g, env.sys, env.tab, CostConfig{Mode: TransferMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cMax.TransferIn(k, cpu, placement); math.Abs(got-1) > 1e-9 {
+		t.Errorf("max mode = %v, want 1", got)
+	}
+	cSum, err := PrepareCosts(g, env.sys, env.tab, CostConfig{Mode: TransferSum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cSum.TransferIn(k, cpu, placement); math.Abs(got-2) > 1e-9 {
+		t.Errorf("sum mode = %v, want 2", got)
+	}
+	// Predecessors co-located with the kernel cost nothing.
+	onSame := func(dfg.KernelID) platform.ProcID { return cpu }
+	if got := cMax.TransferIn(k, cpu, onSame); got != 0 {
+		t.Errorf("co-located transfer = %v, want 0", got)
+	}
+	_ = fpga
+}
+
+func TestMeanTransfer(t *testing.T) {
+	env := tiny(t, 4)
+	b := dfg.NewBuilder()
+	u := b.AddKernel(dfg.Kernel{Name: "a", DataElems: 1_000_000})
+	v := b.AddKernel(dfg.Kernel{Name: "b", DataElems: 1000})
+	b.AddEdge(u, v)
+	g := b.MustBuild()
+	c := mustCosts(t, g, env)
+	// 6 ordered distinct pairs, each 1 ms, averaged over 9 ordered pairs
+	// (diagonal contributes 0): 6/9 ms.
+	want := 6.0 / 9.0
+	if got := c.MeanTransfer(u); math.Abs(got-want) > 1e-9 {
+		t.Errorf("MeanTransfer = %v, want %v", got, want)
+	}
+}
+
+func TestTransferModeString(t *testing.T) {
+	if TransferMax.String() != "max" || TransferSum.String() != "sum" {
+		t.Error("TransferMode.String wrong")
+	}
+}
+
+func TestElemBytesScalesTransfers(t *testing.T) {
+	env := tiny(t, 4)
+	g := singleKernelGraph(t)
+	c8, err := PrepareCosts(g, env.sys, env.tab, CostConfig{ElemBytes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c4, err := PrepareCosts(g, env.sys, env.tab, CostConfig{ElemBytes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8 := c8.TransferMs(1000, 0, 1)
+	r4 := c4.TransferMs(1000, 0, 1)
+	if math.Abs(r8-2*r4) > 1e-12 {
+		t.Errorf("8-byte transfer %v should be 2x 4-byte %v", r8, r4)
+	}
+}

@@ -1,0 +1,595 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dfg"
+	"repro/internal/platform"
+	"repro/internal/stats"
+)
+
+// Assignment binds one kernel to one processor. Returning an assignment
+// commits the kernel: it joins the processor's FIFO queue and can no longer
+// be reassigned.
+type Assignment struct {
+	Kernel dfg.KernelID
+	Proc   platform.ProcID
+}
+
+// Policy is implemented by every scheduling heuristic.
+//
+// Prepare is called once before simulation with the shared cost oracle;
+// static policies (HEFT, PEFT) compute their full schedule here. Select is
+// called at time zero and after every kernel completion; it returns the
+// assignments to commit at the current instant (possibly none, if the
+// policy prefers to wait). Dynamic policies must restrict themselves to
+// st.Ready() kernels; static policies may assign any unassigned kernel
+// (the engine starts it only once its dependencies complete).
+type Policy interface {
+	Name() string
+	Prepare(c *Costs) error
+	Select(st *State) []Assignment
+}
+
+// Options tunes engine behaviour beyond the cost model.
+type Options struct {
+	// SchedOverheadMs is added once per assignment between the moment a
+	// processor picks the kernel up and the start of its incoming transfer.
+	// It models the paper's first two λ components (scheduler processing
+	// and scheduler→processor communication). Default 0.
+	SchedOverheadMs float64
+	// ArrivalTimes optionally paces the stream: kernel k does not become
+	// ready (and is invisible to dynamic policies) before ArrivalTimes[k],
+	// even if it has no dependencies. The thesis submits whole streams at
+	// t = 0; arrival pacing is this repository's extension for studying λ
+	// under realistic streaming (see EXPERIMENTS.md). Must be empty or have
+	// exactly one non-negative entry per kernel. Successors should not be
+	// scheduled to arrive before predecessors; the engine tolerates it
+	// (readiness waits for both) but λ then includes the arrival skew.
+	ArrivalTimes []float64
+	// ActualCosts optionally splits estimation from reality: the policy
+	// keeps deciding with the Costs passed to Run (its "lookup table"),
+	// while execution and transfers take the times given here. Both must be
+	// prepared over the same graph and system. Nil means estimates are
+	// exact, the thesis's model. λ baselines (best-exec) come from the
+	// actual costs. This is the repository's extension for studying
+	// robustness to estimation error (see EXPERIMENTS.md).
+	ActualCosts *Costs
+}
+
+// Placement records the full lifecycle of one kernel in a finished
+// simulation. All times are milliseconds since simulation start.
+type Placement struct {
+	Kernel dfg.KernelID
+	Proc   platform.ProcID
+	// Ready is when every dependency had finished (0 for entry kernels).
+	Ready float64
+	// Assign is when the policy committed the kernel to Proc.
+	Assign float64
+	// TransferStart is when Proc began receiving the kernel's inputs.
+	TransferStart float64
+	// ExecStart is when execution proper began.
+	ExecStart float64
+	// Finish is when execution completed.
+	Finish float64
+	// BestExecMs is the kernel's execution time on its best processor
+	// (pmin) — the baseline against which λ is measured.
+	BestExecMs float64
+}
+
+// Lambda returns the kernel's λ scheduling delay: everything beyond the
+// ideal of executing instantly on the best processor the moment the kernel
+// became ready,
+//
+//	λ = (Finish − Ready) − BestExec.
+//
+// It covers all three components the paper lists — scheduler processing
+// and scheduler→processor communication (the per-assignment overhead),
+// waiting on busy processors and on dependent data movement — plus the
+// execution-time sacrifice of running on a non-optimal processor, which is
+// how policies that never wait but pick terrible processors (SPN, SS, AG)
+// accumulate the enormous λ totals of the paper's Tables 11–12.
+func (p Placement) Lambda() float64 { return p.Finish - p.Ready - p.BestExecMs }
+
+// ProcStat aggregates one processor's time accounting over a run.
+type ProcStat struct {
+	Proc     platform.ProcID
+	ExecMs   float64 // time spent executing kernels
+	XferMs   float64 // time spent receiving input data
+	IdleMs   float64 // Makespan - ExecMs - XferMs
+	Kernels  int     // kernels executed
+}
+
+// LambdaStats aggregates λ delays per the thesis (§3.2 metrics 6–8).
+type LambdaStats struct {
+	TotalMs float64
+	// Count is N: the number of kernels that experienced a non-zero delay.
+	Count  int
+	AvgMs  float64 // TotalMs / Count (0 if Count == 0), Eq. 11
+	StdMs  float64 // population stddev over the non-zero delays, Eq. 12
+}
+
+// Result is everything a finished simulation reports.
+type Result struct {
+	Policy     string
+	MakespanMs float64
+	Placements []Placement // indexed by kernel ID
+	ProcStats  []ProcStat  // indexed by processor ID
+	Lambda     LambdaStats
+	// SelectCalls counts policy invocations; Assignments counts committed
+	// kernels (== number of kernels).
+	SelectCalls int
+	Assignments int
+}
+
+// PlacementOf returns the placement of a kernel.
+func (r *Result) PlacementOf(k dfg.KernelID) Placement { return r.Placements[k] }
+
+// eventKind distinguishes the engine's event types.
+type eventKind int
+
+const (
+	evFinish  eventKind = iota // a kernel completed execution
+	evArrival                  // a kernel arrived in the stream
+)
+
+// event is one scheduled occurrence.
+type event struct {
+	at     float64
+	kind   eventKind
+	kernel dfg.KernelID
+	proc   platform.ProcID // evFinish only
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind // completions before arrivals at ties
+	}
+	return h[i].kernel < h[j].kernel
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// State is the read-only view a policy receives in Select.
+type State struct{ e *engine }
+
+// Now returns the current simulation time in ms.
+func (s *State) Now() float64 { return s.e.now }
+
+// Costs returns the shared cost oracle.
+func (s *State) Costs() *Costs { return s.e.costs }
+
+// Graph returns the workload graph.
+func (s *State) Graph() *dfg.Graph { return s.e.costs.g }
+
+// System returns the platform.
+func (s *State) System() *platform.System { return s.e.costs.sys }
+
+// Ready returns the kernels whose dependencies have completed and that have
+// not been assigned yet, in first-come-first-serve order: ascending by the
+// time they became ready, ties by kernel ID (which is stream order).
+// The returned slice is fresh and owned by the caller.
+func (s *State) Ready() []dfg.KernelID {
+	out := make([]dfg.KernelID, len(s.e.ready))
+	copy(out, s.e.ready)
+	return out
+}
+
+// Unassigned reports whether the kernel has not been committed yet.
+func (s *State) Unassigned(k dfg.KernelID) bool { return !s.e.assigned[k] }
+
+// Finished reports whether the kernel has completed execution.
+func (s *State) Finished(k dfg.KernelID) bool { return s.e.finished[k] }
+
+// Available reports whether processor p is idle: executing no kernel and no
+// transfer, with an empty queue (the paper's set A).
+func (s *State) Available(p platform.ProcID) bool {
+	return s.e.running[p] < 0 && len(s.e.queues[p]) == 0
+}
+
+// AvailableProcs returns all available processors in ID order.
+func (s *State) AvailableProcs() []platform.ProcID {
+	var out []platform.ProcID
+	for p := range s.e.running {
+		if s.Available(platform.ProcID(p)) {
+			out = append(out, platform.ProcID(p))
+		}
+	}
+	return out
+}
+
+// BusyUntil returns the time the processor's current work (running kernel
+// plus queued kernels, by current estimates) will drain. For an idle
+// processor it returns Now. Queued-but-blocked kernels make this a lower
+// bound.
+func (s *State) BusyUntil(p platform.ProcID) float64 {
+	t := s.e.now
+	if s.e.busyUntil[p] > t {
+		t = s.e.busyUntil[p]
+	}
+	for _, k := range s.e.queues[p] {
+		t += s.e.costs.Exec(k, p)
+	}
+	return t
+}
+
+// QueueLen returns the number of committed-but-not-started kernels on p.
+func (s *State) QueueLen(p platform.ProcID) int { return len(s.e.queues[p]) }
+
+// QueuedKernels returns the committed-but-not-started kernels on p in queue
+// order. Fresh slice.
+func (s *State) QueuedKernels(p platform.ProcID) []dfg.KernelID {
+	out := make([]dfg.KernelID, len(s.e.queues[p]))
+	copy(out, s.e.queues[p])
+	return out
+}
+
+// ProcOf returns the processor a kernel was committed to and whether it has
+// been committed at all. Needed to price transfers from finished
+// predecessors.
+func (s *State) ProcOf(k dfg.KernelID) (platform.ProcID, bool) {
+	p := s.e.procOf[k]
+	return p, p >= 0
+}
+
+// RecentExecAvg returns the mean execution time of the last k kernels that
+// completed on processor p (the τᵍₖ of the AG policy, Eq. 2). If fewer than
+// k kernels have completed it averages what exists; with no history it
+// returns 0.
+func (s *State) RecentExecAvg(p platform.ProcID, k int) float64 {
+	h := s.e.history[p]
+	if len(h) == 0 || k <= 0 {
+		return 0
+	}
+	if k > len(h) {
+		k = len(h)
+	}
+	var sum float64
+	for _, v := range h[len(h)-k:] {
+		sum += v
+	}
+	return sum / float64(k)
+}
+
+// engine is the mutable simulation state.
+type engine struct {
+	costs  *Costs // what the policy sees (estimates)
+	actual *Costs // what execution takes (reality)
+	pol    Policy
+	opt    Options
+
+	now       float64
+	ready     []dfg.KernelID // FIFO: (readyTime, id) ascending
+	readyAt   []float64
+	predsLeft []int
+	arrived   []bool
+	assigned  []bool
+	finished  []bool
+	procOf    []platform.ProcID
+	queues    [][]dfg.KernelID
+	running   []dfg.KernelID // -1 when idle
+	busyUntil []float64
+	history   [][]float64
+
+	placements  []Placement
+	events      eventHeap
+	nFinished   int
+	selectCalls int
+	assignments int
+}
+
+// Run simulates graph execution under the policy and returns the metrics.
+// The cost oracle must have been prepared for the same graph the policy
+// will schedule.
+func Run(c *Costs, pol Policy, opt Options) (*Result, error) {
+	if c == nil || pol == nil {
+		return nil, fmt.Errorf("sim: Run requires costs and a policy")
+	}
+	if opt.SchedOverheadMs < 0 {
+		return nil, fmt.Errorf("sim: negative SchedOverheadMs")
+	}
+	if len(opt.ArrivalTimes) != 0 && len(opt.ArrivalTimes) != c.g.NumKernels() {
+		return nil, fmt.Errorf("sim: %d arrival times for %d kernels", len(opt.ArrivalTimes), c.g.NumKernels())
+	}
+	for i, at := range opt.ArrivalTimes {
+		if at < 0 {
+			return nil, fmt.Errorf("sim: kernel %d has negative arrival time %v", i, at)
+		}
+	}
+	actual := opt.ActualCosts
+	if actual == nil {
+		actual = c
+	}
+	if actual.Graph() != c.Graph() {
+		return nil, fmt.Errorf("sim: ActualCosts prepared for a different graph")
+	}
+	if actual.System().NumProcs() != c.System().NumProcs() {
+		return nil, fmt.Errorf("sim: ActualCosts prepared for a different system")
+	}
+	if err := pol.Prepare(c); err != nil {
+		return nil, fmt.Errorf("sim: policy %s prepare: %w", pol.Name(), err)
+	}
+	g := c.g
+	n := g.NumKernels()
+	np := c.sys.NumProcs()
+	e := &engine{
+		costs:      c,
+		actual:     actual,
+		pol:        pol,
+		opt:        opt,
+		readyAt:    make([]float64, n),
+		predsLeft:  make([]int, n),
+		arrived:    make([]bool, n),
+		assigned:   make([]bool, n),
+		finished:   make([]bool, n),
+		procOf:     make([]platform.ProcID, n),
+		queues:     make([][]dfg.KernelID, np),
+		running:    make([]dfg.KernelID, np),
+		busyUntil:  make([]float64, np),
+		history:    make([][]float64, np),
+		placements: make([]Placement, n),
+	}
+	for i := range e.procOf {
+		e.procOf[i] = -1
+	}
+	for p := range e.running {
+		e.running[p] = -1
+	}
+	for id := 0; id < n; id++ {
+		e.predsLeft[id] = g.InDegree(dfg.KernelID(id))
+		arrival := 0.0
+		if len(opt.ArrivalTimes) > 0 {
+			arrival = opt.ArrivalTimes[id]
+		}
+		if arrival > 0 {
+			e.placements[id].Ready = arrival // provisional; finalised on readiness
+			heap.Push(&e.events, event{at: arrival, kind: evArrival, kernel: dfg.KernelID(id)})
+			continue
+		}
+		e.arrived[id] = true
+		if e.predsLeft[id] == 0 {
+			e.ready = append(e.ready, dfg.KernelID(id))
+		}
+	}
+	st := &State{e: e}
+
+	for e.nFinished < n {
+		e.invokePolicy(st)
+		e.startQueued()
+		if len(e.events) == 0 {
+			return nil, fmt.Errorf("sim: policy %s deadlocked at t=%v with %d/%d kernels finished (%d ready)",
+				pol.Name(), e.now, e.nFinished, n, len(e.ready))
+		}
+		ev := heap.Pop(&e.events).(event)
+		if ev.at < e.now {
+			return nil, fmt.Errorf("sim: time went backwards: %v -> %v", e.now, ev.at)
+		}
+		e.now = ev.at
+		switch ev.kind {
+		case evFinish:
+			e.complete(ev)
+		case evArrival:
+			e.arrive(ev.kernel)
+		}
+	}
+	return e.result(), nil
+}
+
+// arrive marks a paced kernel as present in the stream.
+func (e *engine) arrive(k dfg.KernelID) {
+	e.arrived[k] = true
+	if e.predsLeft[k] == 0 {
+		e.readyAt[k] = e.now
+		e.placements[k].Ready = e.now
+		if !e.assigned[k] {
+			e.ready = append(e.ready, k)
+		}
+	}
+}
+
+func (e *engine) invokePolicy(st *State) {
+	e.selectCalls++
+	for _, a := range e.pol.Select(st) {
+		e.commit(a)
+	}
+}
+
+// commit validates and enqueues an assignment.
+func (e *engine) commit(a Assignment) {
+	n := e.costs.g.NumKernels()
+	if a.Kernel < 0 || int(a.Kernel) >= n {
+		panic(fmt.Sprintf("sim: policy %s assigned unknown kernel %d", e.pol.Name(), a.Kernel))
+	}
+	if a.Proc < 0 || int(a.Proc) >= e.costs.sys.NumProcs() {
+		panic(fmt.Sprintf("sim: policy %s assigned kernel %d to unknown processor %d", e.pol.Name(), a.Kernel, a.Proc))
+	}
+	if e.assigned[a.Kernel] {
+		panic(fmt.Sprintf("sim: policy %s double-assigned kernel %d", e.pol.Name(), a.Kernel))
+	}
+	e.assigned[a.Kernel] = true
+	e.procOf[a.Kernel] = a.Proc
+	e.assignments++
+	e.placements[a.Kernel].Kernel = a.Kernel
+	e.placements[a.Kernel].Proc = a.Proc
+	e.placements[a.Kernel].Assign = e.now
+	_, best := e.actual.BestProc(a.Kernel)
+	e.placements[a.Kernel].BestExecMs = best
+	e.queues[a.Proc] = append(e.queues[a.Proc], a.Kernel)
+	// Drop from the ready list if present (static policies may assign
+	// kernels that are not ready yet).
+	for i, k := range e.ready {
+		if k == a.Kernel {
+			e.ready = append(e.ready[:i], e.ready[i+1:]...)
+			break
+		}
+	}
+}
+
+// startQueued starts the head of every idle processor's queue whose
+// dependencies have completed.
+func (e *engine) startQueued() {
+	for p := range e.queues {
+		if e.running[p] >= 0 || len(e.queues[p]) == 0 {
+			continue
+		}
+		k := e.queues[p][0]
+		if e.predsLeft[k] > 0 || !e.arrived[k] {
+			continue // head blocked on dependencies or not yet arrived
+		}
+		e.queues[p] = e.queues[p][1:]
+		e.start(k, platform.ProcID(p))
+	}
+}
+
+func (e *engine) start(k dfg.KernelID, p platform.ProcID) {
+	pl := &e.placements[k]
+	pl.TransferStart = e.now + e.opt.SchedOverheadMs
+	xfer := e.actual.TransferIn(k, p, func(pred dfg.KernelID) platform.ProcID {
+		return e.procOf[pred]
+	})
+	pl.ExecStart = pl.TransferStart + xfer
+	exec := e.actual.Exec(k, p)
+	pl.Finish = pl.ExecStart + exec
+	e.running[p] = k
+	e.busyUntil[p] = pl.Finish
+	heap.Push(&e.events, event{at: pl.Finish, kernel: k, proc: p})
+}
+
+func (e *engine) complete(ev event) {
+	k, p := ev.kernel, ev.proc
+	e.finished[k] = true
+	e.nFinished++
+	e.running[p] = -1
+	e.history[p] = append(e.history[p], e.actual.Exec(k, p))
+	for _, s := range e.costs.g.Succs(k) {
+		e.predsLeft[s]--
+		if e.predsLeft[s] == 0 && e.arrived[s] {
+			e.readyAt[s] = e.now
+			e.placements[s].Ready = e.now
+			if !e.assigned[s] {
+				e.ready = append(e.ready, s)
+			}
+		}
+	}
+}
+
+func (e *engine) result() *Result {
+	np := e.costs.sys.NumProcs()
+	res := &Result{
+		Policy:      e.pol.Name(),
+		Placements:  e.placements,
+		ProcStats:   make([]ProcStat, np),
+		SelectCalls: e.selectCalls,
+		Assignments: e.assignments,
+	}
+	for p := 0; p < np; p++ {
+		res.ProcStats[p].Proc = platform.ProcID(p)
+	}
+	var makespan float64
+	var lambdas []float64
+	for i := range e.placements {
+		pl := &e.placements[i]
+		if pl.Finish > makespan {
+			makespan = pl.Finish
+		}
+		st := &res.ProcStats[pl.Proc]
+		st.ExecMs += pl.Finish - pl.ExecStart
+		st.XferMs += pl.ExecStart - pl.TransferStart
+		st.Kernels++
+		if l := pl.Lambda(); l > 0 {
+			lambdas = append(lambdas, l)
+		}
+	}
+	res.MakespanMs = makespan
+	for p := range res.ProcStats {
+		st := &res.ProcStats[p]
+		st.IdleMs = makespan - st.ExecMs - st.XferMs
+		if st.IdleMs < 0 && st.IdleMs > -1e-9 {
+			st.IdleMs = 0 // clamp float noise
+		}
+	}
+	res.Lambda = LambdaStats{
+		TotalMs: stats.Sum(lambdas),
+		Count:   len(lambdas),
+		StdMs:   stats.StdDev(lambdas),
+	}
+	if res.Lambda.Count > 0 {
+		res.Lambda.AvgMs = res.Lambda.TotalMs / float64(res.Lambda.Count)
+	}
+	return res
+}
+
+// Validate re-checks the structural invariants of a finished simulation:
+// every kernel placed exactly once on a real processor; per-processor
+// occupancy intervals (transfer start to finish) never overlap; no kernel
+// starts its transfer before being assigned nor executes before all its
+// dependencies finish; λ is non-negative; and the reported makespan equals
+// the latest finish. It exists for tests and for downstream users embedding
+// custom policies.
+func (r *Result) Validate(g *dfg.Graph, sys *platform.System) error {
+	n := g.NumKernels()
+	if len(r.Placements) != n {
+		return fmt.Errorf("sim: %d placements for %d kernels", len(r.Placements), n)
+	}
+	byProc := make(map[platform.ProcID][]Placement)
+	var maxFinish float64
+	for i := range r.Placements {
+		pl := r.Placements[i]
+		if int(pl.Kernel) != i {
+			return fmt.Errorf("sim: placement %d records kernel %d", i, pl.Kernel)
+		}
+		if pl.Proc < 0 || int(pl.Proc) >= sys.NumProcs() {
+			return fmt.Errorf("sim: kernel %d placed on unknown processor %d", i, pl.Proc)
+		}
+		// Note: pl.Assign may precede pl.Ready — static policies commit
+		// kernels before their dependencies finish; that is legal.
+		if pl.TransferStart < pl.Assign-1e-9 {
+			return fmt.Errorf("sim: kernel %d transfer (%v) before assignment (%v)", i, pl.TransferStart, pl.Assign)
+		}
+		if pl.ExecStart < pl.TransferStart-1e-9 || pl.Finish < pl.ExecStart-1e-9 {
+			return fmt.Errorf("sim: kernel %d has non-monotonic lifecycle %+v", i, pl)
+		}
+		if pl.Lambda() < -1e-9 {
+			return fmt.Errorf("sim: kernel %d has negative λ %v", i, pl.Lambda())
+		}
+		for _, pred := range g.Preds(pl.Kernel) {
+			if r.Placements[pred].Finish > pl.TransferStart+1e-9 {
+				return fmt.Errorf("sim: kernel %d starts transfers at %v before predecessor %d finishes at %v",
+					i, pl.TransferStart, pred, r.Placements[pred].Finish)
+			}
+		}
+		byProc[pl.Proc] = append(byProc[pl.Proc], pl)
+		if pl.Finish > maxFinish {
+			maxFinish = pl.Finish
+		}
+	}
+	if n > 0 && math.Abs(maxFinish-r.MakespanMs) > 1e-6 {
+		return fmt.Errorf("sim: makespan %v != latest finish %v", r.MakespanMs, maxFinish)
+	}
+	for p, pls := range byProc {
+		sort.Slice(pls, func(i, j int) bool { return pls[i].TransferStart < pls[j].TransferStart })
+		for i := 1; i < len(pls); i++ {
+			if pls[i].TransferStart < pls[i-1].Finish-1e-9 {
+				return fmt.Errorf("sim: processor %d overlap: kernel %d (start %v) before kernel %d finished (%v)",
+					p, pls[i].Kernel, pls[i].TransferStart, pls[i-1].Kernel, pls[i-1].Finish)
+			}
+		}
+	}
+	return nil
+}

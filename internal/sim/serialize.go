@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/dfg"
+	"repro/internal/platform"
+)
+
+// jsonResult is the stable on-disk representation of a finished run.
+type jsonResult struct {
+	Policy      string          `json:"policy"`
+	MakespanMs  float64         `json:"makespan_ms"`
+	SelectCalls int             `json:"select_calls"`
+	Assignments int             `json:"assignments"`
+	Lambda      LambdaStats     `json:"lambda"`
+	Placements  []jsonPlacement `json:"placements"`
+	ProcStats   []ProcStat      `json:"proc_stats"`
+}
+
+type jsonPlacement struct {
+	Kernel        int     `json:"kernel"`
+	Proc          int     `json:"proc"`
+	Ready         float64 `json:"ready_ms"`
+	Assign        float64 `json:"assign_ms"`
+	TransferStart float64 `json:"transfer_start_ms"`
+	ExecStart     float64 `json:"exec_start_ms"`
+	Finish        float64 `json:"finish_ms"`
+	BestExec      float64 `json:"best_exec_ms"`
+}
+
+// WriteJSON persists the result. Together with ReadResultJSON it lets a
+// schedule be archived, diffed across code versions, or re-validated
+// offline against its graph and system.
+func (r *Result) WriteJSON(w io.Writer) error {
+	jr := jsonResult{
+		Policy:      r.Policy,
+		MakespanMs:  r.MakespanMs,
+		SelectCalls: r.SelectCalls,
+		Assignments: r.Assignments,
+		Lambda:      r.Lambda,
+		ProcStats:   r.ProcStats,
+	}
+	for _, pl := range r.Placements {
+		jr.Placements = append(jr.Placements, jsonPlacement{
+			Kernel:        int(pl.Kernel),
+			Proc:          int(pl.Proc),
+			Ready:         pl.Ready,
+			Assign:        pl.Assign,
+			TransferStart: pl.TransferStart,
+			ExecStart:     pl.ExecStart,
+			Finish:        pl.Finish,
+			BestExec:      pl.BestExecMs,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jr)
+}
+
+// ReadResultJSON decodes a result written by WriteJSON. The caller should
+// re-Validate it against the graph and system it was produced from.
+func ReadResultJSON(rd io.Reader) (*Result, error) {
+	var jr jsonResult
+	if err := json.NewDecoder(rd).Decode(&jr); err != nil {
+		return nil, fmt.Errorf("sim: result decode: %w", err)
+	}
+	out := &Result{
+		Policy:      jr.Policy,
+		MakespanMs:  jr.MakespanMs,
+		SelectCalls: jr.SelectCalls,
+		Assignments: jr.Assignments,
+		Lambda:      jr.Lambda,
+		ProcStats:   jr.ProcStats,
+	}
+	for i, jp := range jr.Placements {
+		if jp.Kernel != i {
+			return nil, fmt.Errorf("sim: placement %d records kernel %d", i, jp.Kernel)
+		}
+		out.Placements = append(out.Placements, Placement{
+			Kernel:        dfg.KernelID(jp.Kernel),
+			Proc:          platform.ProcID(jp.Proc),
+			Ready:         jp.Ready,
+			Assign:        jp.Assign,
+			TransferStart: jp.TransferStart,
+			ExecStart:     jp.ExecStart,
+			Finish:        jp.Finish,
+			BestExecMs:    jp.BestExec,
+		})
+	}
+	return out, nil
+}

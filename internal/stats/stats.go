@@ -1,0 +1,94 @@
+// Package stats provides the small statistical toolkit the thesis uses:
+// means, population standard deviations (paper Eq. 12), extrema and the
+// percentage-improvement metrics of §4.4 (Eq. 13–14).
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation (divide by N), matching
+// the thesis's λ standard-deviation definition (Eq. 12). Returns 0 for
+// fewer than one sample.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Sum returns the total of the slice.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Min returns the minimum, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMin returns the index of the minimum element, ties to the smaller
+// index, or -1 for an empty slice.
+func ArgMin(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ImprovementPct implements the thesis's improvement metric (Eq. 13–14):
+// the percentage by which `ours` improves on `baseline`:
+//
+//	(baseline - ours) / baseline * 100
+//
+// Positive means ours is better (smaller). Returns 0 when baseline is 0.
+func ImprovementPct(baseline, ours float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (baseline - ours) / baseline * 100
+}

@@ -1,0 +1,136 @@
+// Package workload generates the input streams the thesis evaluates on:
+// series of kernels drawn from a catalog of seven real kernels (Table 5),
+// arranged into DFG Type-1 (a wide parallel level plus one terminal kernel)
+// or DFG Type-2 (independent kernels, chains and three diamond-shaped
+// "kernel graph blocks").
+//
+// All generation is deterministic given a seed, so every experiment in this
+// repository is exactly reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dfg"
+	"repro/internal/lut"
+)
+
+// KernelSpec is one element of an input series: a kernel name plus its data
+// size. Series are what the thesis's generator software accepts ("a series
+// of kernels and each kernel has its own data size").
+type KernelSpec struct {
+	Name      string
+	DataElems int64
+}
+
+// Catalog lists the kernels a generator may draw and the data sizes that
+// are admissible for each (the measured sizes of the lookup table, so the
+// simulator's cost model never needs to extrapolate).
+type Catalog struct {
+	names []string
+	sizes map[string][]int64
+}
+
+// NewCatalog builds a catalog from explicit kernel -> sizes data.
+func NewCatalog(sizes map[string][]int64) (*Catalog, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("workload: empty catalog")
+	}
+	c := &Catalog{sizes: map[string][]int64{}}
+	for name, ss := range sizes {
+		if len(ss) == 0 {
+			return nil, fmt.Errorf("workload: kernel %q has no sizes", name)
+		}
+		for _, s := range ss {
+			if s <= 0 {
+				return nil, fmt.Errorf("workload: kernel %q has non-positive size %d", name, s)
+			}
+		}
+		c.sizes[name] = append([]int64(nil), ss...)
+	}
+	// Deterministic name order.
+	for name := range c.sizes {
+		c.names = append(c.names, name)
+	}
+	sortStrings(c.names)
+	return c, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// PaperCatalog returns the catalog implied by the thesis: every kernel of
+// its lookup table with exactly the measured data sizes.
+func PaperCatalog() *Catalog {
+	t := lut.Paper()
+	sizes := map[string][]int64{}
+	for _, k := range t.Kernels() {
+		sizes[k] = t.Sizes(k)
+	}
+	c, err := NewCatalog(sizes)
+	if err != nil {
+		panic(err) // lut.Paper is statically valid
+	}
+	return c
+}
+
+// Names returns the kernel names in deterministic (sorted) order.
+func (c *Catalog) Names() []string { return c.names }
+
+// Sizes returns the admissible sizes for a kernel, or nil if unknown.
+func (c *Catalog) Sizes(name string) []int64 { return c.sizes[name] }
+
+// RandomSpec draws one kernel uniformly at random and one of its admissible
+// sizes uniformly at random.
+func (c *Catalog) RandomSpec(r *rand.Rand) KernelSpec {
+	name := c.names[r.Intn(len(c.names))]
+	ss := c.sizes[name]
+	return KernelSpec{Name: name, DataElems: ss[r.Intn(len(ss))]}
+}
+
+// RandomSeries draws n independent random specs.
+func (c *Catalog) RandomSeries(r *rand.Rand, n int) []KernelSpec {
+	out := make([]KernelSpec, n)
+	for i := range out {
+		out[i] = c.RandomSpec(r)
+	}
+	return out
+}
+
+// Validate checks that every spec names a catalog kernel with an admissible
+// size.
+func (c *Catalog) Validate(series []KernelSpec) error {
+	for i, s := range series {
+		sizes, ok := c.sizes[s.Name]
+		if !ok {
+			return fmt.Errorf("workload: spec %d names unknown kernel %q", i, s.Name)
+		}
+		found := false
+		for _, sz := range sizes {
+			if sz == s.DataElems {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("workload: spec %d size %d not admissible for kernel %q", i, s.DataElems, s.Name)
+		}
+	}
+	return nil
+}
+
+// addSpec appends a series element to a graph builder, filling in the dwarf.
+func addSpec(b *dfg.Builder, s KernelSpec, app int) dfg.KernelID {
+	return b.AddKernel(dfg.Kernel{
+		Name:      s.Name,
+		Dwarf:     lut.Dwarf(s.Name),
+		DataElems: s.DataElems,
+		App:       app,
+	})
+}

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dfg"
+)
+
+// LayeredConfig tunes BuildLayered, the random layered-DAG family common
+// in scheduling literature (and a superset of the thesis's two shapes:
+// Type-1 is one wide layer plus a sink; Type-2's diamonds are three-layer
+// blocks). It exists for robustness studies beyond the paper's workloads.
+type LayeredConfig struct {
+	// Layers is the number of dependency levels (>= 1).
+	Layers int
+	// EdgeProb is the probability of an edge between a kernel and each
+	// kernel of the next layer, in [0,1]. Every non-entry kernel receives
+	// at least one predecessor regardless, keeping layers meaningful.
+	EdgeProb float64
+}
+
+// DefaultLayeredConfig returns four layers with 0.3 edge density.
+func DefaultLayeredConfig() LayeredConfig { return LayeredConfig{Layers: 4, EdgeProb: 0.3} }
+
+// BuildLayered arranges a series into a random layered DAG: kernels are
+// spread round-robin across cfg.Layers layers, and edges run only between
+// consecutive layers, drawn independently with cfg.EdgeProb (plus one
+// guaranteed predecessor per non-entry kernel). Deterministic per rng.
+func BuildLayered(series []KernelSpec, cfg LayeredConfig, r *rand.Rand) (*dfg.Graph, error) {
+	if len(series) == 0 {
+		return nil, fmt.Errorf("workload: layered series is empty")
+	}
+	if cfg.Layers <= 0 {
+		return nil, fmt.Errorf("workload: layers must be positive, got %d", cfg.Layers)
+	}
+	if cfg.EdgeProb < 0 || cfg.EdgeProb > 1 {
+		return nil, fmt.Errorf("workload: edge probability %v outside [0,1]", cfg.EdgeProb)
+	}
+	if cfg.Layers > len(series) {
+		cfg.Layers = len(series)
+	}
+	b := dfg.NewBuilder()
+	layers := make([][]dfg.KernelID, cfg.Layers)
+	for i, s := range series {
+		l := i * cfg.Layers / len(series) // contiguous stream order per layer
+		// The App tag records the layer index, standing in for the
+		// application grouping this synthetic family does not have.
+		layers[l] = append(layers[l], addSpec(b, s, l))
+	}
+	for l := 1; l < cfg.Layers; l++ {
+		prev := layers[l-1]
+		for _, kid := range layers[l] {
+			connected := false
+			for _, p := range prev {
+				if r.Float64() < cfg.EdgeProb {
+					b.AddEdge(p, kid)
+					connected = true
+				}
+			}
+			if !connected {
+				b.AddEdge(prev[r.Intn(len(prev))], kid)
+			}
+		}
+	}
+	return b.Build()
+}

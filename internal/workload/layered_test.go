@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dfg"
+)
+
+func TestBuildLayeredShape(t *testing.T) {
+	c := PaperCatalog()
+	series := c.RandomSeries(rand.New(rand.NewSource(1)), 40)
+	g, err := BuildLayered(series, LayeredConfig{Layers: 4, EdgeProb: 0.3}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumKernels() != 40 {
+		t.Fatalf("kernels = %d", g.NumKernels())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	levels := g.Levels()
+	if len(levels) != 4 {
+		t.Errorf("levels = %d, want 4 (every non-entry kernel has a previous-layer pred)", len(levels))
+	}
+	// Non-entry kernels all have at least one predecessor.
+	for id := 0; id < g.NumKernels(); id++ {
+		k := dfg.KernelID(id)
+		if g.Kernel(k).App > 0 && g.InDegree(k) == 0 {
+			t.Errorf("kernel %d in layer %d has no predecessor", id, g.Kernel(k).App)
+		}
+	}
+}
+
+func TestBuildLayeredValidation(t *testing.T) {
+	c := PaperCatalog()
+	series := c.RandomSeries(rand.New(rand.NewSource(1)), 10)
+	r := rand.New(rand.NewSource(1))
+	if _, err := BuildLayered(nil, DefaultLayeredConfig(), r); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := BuildLayered(series, LayeredConfig{Layers: 0, EdgeProb: 0.5}, r); err == nil {
+		t.Error("zero layers accepted")
+	}
+	if _, err := BuildLayered(series, LayeredConfig{Layers: 2, EdgeProb: 1.5}, r); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+}
+
+func TestBuildLayeredMoreLayersThanKernels(t *testing.T) {
+	c := PaperCatalog()
+	series := c.RandomSeries(rand.New(rand.NewSource(3)), 3)
+	g, err := BuildLayered(series, LayeredConfig{Layers: 10, EdgeProb: 1}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clamped to 3 layers: a 3-kernel chain.
+	if g.NumEdges() != 2 {
+		t.Errorf("edges = %d, want 2 (chain)", g.NumEdges())
+	}
+}
+
+// Property: layered graphs are always valid DAGs whose level count equals
+// the configured layer count (after clamping).
+func TestBuildLayeredProperty(t *testing.T) {
+	c := PaperCatalog()
+	f := func(seed int64, nRaw, layersRaw, probRaw uint8) bool {
+		n := int(nRaw%60) + 1
+		layers := int(layersRaw%6) + 1
+		prob := float64(probRaw%101) / 100
+		series := c.RandomSeries(rand.New(rand.NewSource(seed)), n)
+		g, err := BuildLayered(series, LayeredConfig{Layers: layers, EdgeProb: prob},
+			rand.New(rand.NewSource(seed+1)))
+		if err != nil {
+			return false
+		}
+		if g.Validate() != nil || g.NumKernels() != n {
+			return false
+		}
+		want := layers
+		if want > n {
+			want = n
+		}
+		return len(g.Levels()) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dfg"
+)
+
+func streamGraph(t *testing.T, n int) *dfg.Graph {
+	t.Helper()
+	c := PaperCatalog()
+	series := c.RandomSeries(rand.New(rand.NewSource(1)), n)
+	g, err := BuildType2(series, Type2Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPoissonArrivalsShape(t *testing.T) {
+	g := streamGraph(t, 40)
+	at, err := PoissonArrivals(g, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(at) != g.NumKernels() {
+		t.Fatalf("len = %d, want %d", len(at), g.NumKernels())
+	}
+	for i := 1; i < len(at); i++ {
+		if at[i] < at[i-1] {
+			t.Fatalf("arrivals not monotone at %d: %v < %v", i, at[i], at[i-1])
+		}
+	}
+	// Mean gap should be within 3x of the requested mean for 40 samples.
+	mean := at[len(at)-1] / float64(len(at)-1)
+	if mean < 100/3.0 || mean > 300 {
+		t.Errorf("empirical mean gap %v far from 100", mean)
+	}
+	// Dependencies never arrive before their predecessors.
+	for u := 0; u < g.NumKernels(); u++ {
+		for _, v := range g.Succs(dfg.KernelID(u)) {
+			if at[v] < at[u] {
+				t.Fatalf("successor %d arrives before predecessor %d", v, u)
+			}
+		}
+	}
+}
+
+func TestPoissonArrivalsDeterministic(t *testing.T) {
+	g := streamGraph(t, 20)
+	a, _ := PoissonArrivals(g, 50, 3)
+	b, _ := PoissonArrivals(g, 50, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("not deterministic at %d", i)
+		}
+	}
+}
+
+func TestPoissonArrivalsZeroGap(t *testing.T) {
+	g := streamGraph(t, 10)
+	at, err := PoissonArrivals(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range at {
+		if v != 0 {
+			t.Fatalf("zero gap should give all-zero arrivals, got %v", at)
+		}
+	}
+	if _, err := PoissonArrivals(g, -1, 1); err == nil {
+		t.Error("negative gap accepted")
+	}
+}
+
+func TestPeriodicArrivals(t *testing.T) {
+	g := streamGraph(t, 10)
+	at, err := PeriodicArrivals(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range at {
+		if v != float64(i)*5 {
+			t.Fatalf("arrival %d = %v, want %v", i, v, float64(i)*5)
+		}
+	}
+	if _, err := PeriodicArrivals(g, -5); err == nil {
+		t.Error("negative gap accepted")
+	}
+}

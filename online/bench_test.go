@@ -1,0 +1,65 @@
+package online
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSubmitDispatch measures end-to-end submit -> place -> run ->
+// complete throughput with no-op task bodies.
+func BenchmarkSubmitDispatch(b *testing.B) {
+	s, err := New(3, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Start()
+	defer s.Close()
+	est := []float64{3, 1, 5}
+	noop := func(context.Context, ProcID) error { return nil }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := s.Submit(Task{Name: "t", EstMs: est, Run: noop})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res := <-h.Done; res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+// BenchmarkBurst measures a pipelined burst: submit everything, then wait.
+func BenchmarkBurst(b *testing.B) {
+	for _, procs := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			s, err := New(procs, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Start()
+			defer s.Close()
+			est := make([]float64, procs)
+			for i := range est {
+				est[i] = float64(i + 1)
+			}
+			noop := func(context.Context, ProcID) error { return nil }
+			b.ReportAllocs()
+			b.ResetTimer()
+			handles := make([]*Handle, 0, b.N)
+			for i := 0; i < b.N; i++ {
+				h, err := s.Submit(Task{Name: "t", EstMs: est, Run: noop})
+				if err != nil {
+					b.Fatal(err)
+				}
+				handles = append(handles, h)
+			}
+			for _, h := range handles {
+				if res := <-h.Done; res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,286 @@
+// Package online applies the APT scheduling rule to real work at runtime.
+//
+// Where repro/apt simulates schedules against a measured lookup table,
+// this package dispatches actual Go functions onto a fixed set of worker
+// "processors" (one goroutine each), deciding placements live with the
+// thesis's Algorithm 1: run a task on its estimated-fastest processor if
+// that processor is idle, otherwise on the cheapest idle alternative whose
+// estimated execution-plus-transfer cost stays within α times the best
+// estimate, otherwise keep it queued until the best processor frees up.
+//
+// Typical use — a host process steering work between a CPU pool and
+// accelerator command queues, with per-device time estimates from past
+// profiling:
+//
+//	s := online.New(3, 4) // three processors, α = 4
+//	s.Start()
+//	h := s.Submit(online.Task{
+//	    Name:  "matmul",
+//	    EstMs: []float64{260, 0.1, 9500}, // CPU, GPU, FPGA estimates
+//	    Run:   func(ctx context.Context, p online.ProcID) error { ... },
+//	})
+//	res := <-h.Done
+//	s.Close()
+//
+// The scheduler is safe for concurrent Submit calls.
+package online
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ProcID indexes a processor (worker) of the scheduler.
+type ProcID int
+
+// Task is one unit of work.
+type Task struct {
+	// Name labels the task in results and statistics.
+	Name string
+	// EstMs estimates the task's execution time on each processor; it must
+	// have exactly one positive entry per processor. The relative values
+	// drive placement exactly like the thesis's lookup table.
+	EstMs []float64
+	// XferMs optionally estimates the input-staging cost per processor
+	// (zero-filled when nil). It participates in the alternative-processor
+	// threshold test, like the transfer term of Algorithm 1.
+	XferMs []float64
+	// Run executes the task on the chosen processor. A nil Run is a no-op
+	// (useful for tests and draining).
+	Run func(ctx context.Context, p ProcID) error
+}
+
+// Result reports one finished task.
+type Result struct {
+	Task Task
+	Proc ProcID
+	// Alt is true when the task ran on a non-optimal processor via the
+	// threshold rule.
+	Alt bool
+	// Err is the error returned by Run, or the scheduler's cancellation
+	// error.
+	Err error
+}
+
+// Handle tracks a submitted task.
+type Handle struct {
+	// Done receives exactly one Result when the task finishes.
+	Done <-chan Result
+}
+
+// Stats aggregates scheduler behaviour since Start.
+type Stats struct {
+	Submitted      int
+	Completed      int
+	AltAssignments int
+	PerProc        []int // tasks completed per processor
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("online: scheduler closed")
+
+// Scheduler dispatches tasks onto worker processors with the APT rule.
+type Scheduler struct {
+	alpha float64
+	np    int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []*pendingTask
+	busy    []bool
+	stats   Stats
+	closed  bool
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	started bool
+}
+
+type pendingTask struct {
+	task Task
+	done chan Result
+}
+
+// New returns a scheduler for numProcs processors with flexibility factor
+// alpha (alpha >= 1; 1 reproduces MET's strict waiting).
+func New(numProcs int, alpha float64) (*Scheduler, error) {
+	if numProcs <= 0 {
+		return nil, fmt.Errorf("online: need at least one processor, got %d", numProcs)
+	}
+	if alpha < 1 {
+		return nil, fmt.Errorf("online: flexibility factor must be >= 1, got %v", alpha)
+	}
+	s := &Scheduler{
+		alpha: alpha,
+		np:    numProcs,
+		busy:  make([]bool, numProcs),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.stats.PerProc = make([]int, numProcs)
+	return s, nil
+}
+
+// Start launches the dispatcher. It must be called once before Submit.
+func (s *Scheduler) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.wg.Add(1)
+	go s.dispatch()
+}
+
+// Submit queues a task and returns a handle delivering its Result. Tasks
+// are considered in submission order (first come, first serve), matching
+// the thesis's queue.
+func (s *Scheduler) Submit(t Task) (*Handle, error) {
+	if len(t.EstMs) != s.np {
+		return nil, fmt.Errorf("online: task %q has %d estimates for %d processors", t.Name, len(t.EstMs), s.np)
+	}
+	for p, e := range t.EstMs {
+		if e <= 0 {
+			return nil, fmt.Errorf("online: task %q has non-positive estimate %v on processor %d", t.Name, e, p)
+		}
+	}
+	if t.XferMs != nil && len(t.XferMs) != s.np {
+		return nil, fmt.Errorf("online: task %q has %d transfer estimates for %d processors", t.Name, len(t.XferMs), s.np)
+	}
+	done := make(chan Result, 1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if !s.started {
+		return nil, fmt.Errorf("online: Submit before Start")
+	}
+	s.pending = append(s.pending, &pendingTask{task: t, done: done})
+	s.stats.Submitted++
+	s.cond.Signal()
+	return &Handle{Done: done}, nil
+}
+
+// Close stops accepting work, cancels the run context passed to in-flight
+// tasks, fails queued tasks with ErrClosed, and waits for workers to exit.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	if s.cancel != nil {
+		s.cancel()
+	}
+	for _, pt := range s.pending {
+		pt.done <- Result{Task: pt.task, Proc: -1, Err: ErrClosed}
+	}
+	s.pending = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats returns a snapshot of the scheduler's counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.stats
+	out.PerProc = append([]int(nil), s.stats.PerProc...)
+	return out
+}
+
+// dispatch is the scheduler loop: whenever the pending queue or processor
+// availability changes, sweep the queue with the APT rule.
+func (s *Scheduler) dispatch() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return
+		}
+		progress := s.sweepLocked()
+		if !progress {
+			s.cond.Wait()
+		}
+	}
+}
+
+// sweepLocked walks the pending queue in order, launching every task the
+// APT rule allows right now. Returns whether anything launched.
+func (s *Scheduler) sweepLocked() bool {
+	launched := false
+	for i := 0; i < len(s.pending); {
+		pt := s.pending[i]
+		proc, alt, ok := s.placeLocked(pt.task)
+		if !ok {
+			i++
+			continue
+		}
+		s.pending = append(s.pending[:i], s.pending[i+1:]...)
+		s.busy[proc] = true
+		if alt {
+			s.stats.AltAssignments++
+		}
+		s.wg.Add(1)
+		go s.runTask(pt, proc, alt)
+		launched = true
+	}
+	return launched
+}
+
+// placeLocked applies Algorithm 1 to one task: best processor if idle,
+// else cheapest idle alternative within threshold.
+func (s *Scheduler) placeLocked(t Task) (ProcID, bool, bool) {
+	pmin := 0
+	for p := 1; p < s.np; p++ {
+		if t.EstMs[p] < t.EstMs[pmin] {
+			pmin = p
+		}
+	}
+	if !s.busy[pmin] {
+		return ProcID(pmin), false, true
+	}
+	threshold := s.alpha * t.EstMs[pmin]
+	best := -1
+	bestCost := 0.0
+	for p := 0; p < s.np; p++ {
+		if s.busy[p] || p == pmin {
+			continue
+		}
+		cost := t.EstMs[p]
+		if t.XferMs != nil {
+			cost += t.XferMs[p]
+		}
+		if cost <= threshold && (best < 0 || cost < bestCost) {
+			best, bestCost = p, cost
+		}
+	}
+	if best < 0 {
+		return -1, false, false
+	}
+	return ProcID(best), true, true
+}
+
+// runTask executes one task on its processor and frees it afterwards.
+func (s *Scheduler) runTask(pt *pendingTask, proc ProcID, alt bool) {
+	defer s.wg.Done()
+	var err error
+	if pt.task.Run != nil {
+		err = pt.task.Run(s.ctx, proc)
+	}
+	s.mu.Lock()
+	s.busy[proc] = false
+	s.stats.Completed++
+	s.stats.PerProc[proc]++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	pt.done <- Result{Task: pt.task, Proc: proc, Alt: alt, Err: err}
+}
