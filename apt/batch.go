@@ -1,0 +1,199 @@
+package apt
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lut"
+	"repro/internal/sim"
+)
+
+// RunConfig describes one simulation of a batch: the same inputs Run takes,
+// as a value. A nil Options selects the defaults.
+type RunConfig struct {
+	Workload *Workload
+	Machine  *Machine
+	Policy   Policy
+	Options  *Options
+}
+
+// BatchOptions tunes RunBatch.
+type BatchOptions struct {
+	// Workers bounds the concurrent simulations; <= 0 selects one worker
+	// per available CPU.
+	Workers int
+}
+
+// ConfigError is one failed config of a RunBatch, tagged with its index
+// into the configs slice.
+type ConfigError struct {
+	Index int
+	Err   error
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string { return fmt.Sprintf("apt: config %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *ConfigError) Unwrap() error { return e.Err }
+
+// BatchError joins the failures of a RunBatch. Every entry is a
+// *ConfigError; errors.As recovers them, errors.Is each underlying cause.
+type BatchError struct {
+	// Errs holds one *ConfigError per failed config, in config order.
+	Errs []error
+}
+
+// Error implements error.
+func (b *BatchError) Error() string {
+	if len(b.Errs) == 1 {
+		return b.Errs[0].Error()
+	}
+	return fmt.Sprintf("%v (and %d more batch errors)", b.Errs[0], len(b.Errs)-1)
+}
+
+// Unwrap exposes the individual failures to errors.Is/As.
+func (b *BatchError) Unwrap() []error { return b.Errs }
+
+// RunBatch simulates every config concurrently across a bounded worker pool
+// and returns the results in config order: results[i] corresponds to
+// configs[i]. Every simulation is deterministic, so the results are
+// identical to calling Run sequentially over the same configs — RunBatch
+// only changes the wall-clock cost of sweeps that run thousands of
+// (policy, α, workload, machine) combinations. Workers reuse their
+// engine state between runs, so large batches also allocate far less than
+// repeated Run calls.
+//
+// Cancelling the context stops unstarted simulations (in-flight ones
+// complete). Failed or cancelled configs leave a nil entry in the results
+// slice and contribute a *ConfigError to the returned *BatchError;
+// successful results are returned either way.
+func RunBatch(ctx context.Context, configs []RunConfig, opts *BatchOptions) ([]*Result, error) {
+	if opts == nil {
+		opts = &BatchOptions{}
+	}
+	// The whole per-config pipeline — cost preparation, simulation,
+	// validation, result assembly — runs inside the pool, on a per-worker
+	// reusable engine.
+	results := make([]*Result, len(configs))
+	errs := sim.RunPool(ctx, len(configs), opts.Workers, func(i int, runner *sim.Runner) error {
+		res, err := runOne(runner, configs[i])
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+
+	var failed []error
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, &ConfigError{Index: i, Err: err})
+		}
+	}
+	if len(failed) > 0 {
+		return results, &BatchError{Errs: failed}
+	}
+	return results, nil
+}
+
+// runOne executes one config of a batch on a reusable engine.
+func runOne(runner *sim.Runner, cfg RunConfig) (*Result, error) {
+	run, pol, err := prepareRun(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runner.Run(run.Costs, pol, run.Opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Validate(cfg.Workload.g, cfg.Machine.sys); err != nil {
+		return nil, fmt.Errorf("internal error, invalid schedule: %w", err)
+	}
+	return assemble(res, cfg.Workload, cfg.Machine, pol), nil
+}
+
+// prepareRun turns one RunConfig into an engine-level batch run plus the
+// policy instance (kept so APT allocation stats can be read back).
+func prepareRun(cfg RunConfig) (sim.BatchRun, sim.Policy, error) {
+	if cfg.Workload == nil || cfg.Machine == nil {
+		return sim.BatchRun{}, nil, fmt.Errorf("run requires a workload and a machine")
+	}
+	opts := cfg.Options
+	if opts == nil {
+		opts = &Options{}
+	}
+	mode := sim.TransferMax
+	if opts.SerialTransfers {
+		mode = sim.TransferSum
+	}
+	costs, err := sim.PrepareCosts(cfg.Workload.g, cfg.Machine.sys, lut.Paper(), sim.CostConfig{
+		ElemBytes: opts.ElemBytes,
+		Mode:      mode,
+	})
+	if err != nil {
+		return sim.BatchRun{}, nil, err
+	}
+	pol, err := cfg.Policy.instantiate()
+	if err != nil {
+		return sim.BatchRun{}, nil, err
+	}
+	return sim.BatchRun{
+		Costs:  costs,
+		Policy: pol,
+		Opt: sim.Options{
+			SchedOverheadMs: opts.SchedOverheadMs,
+			ArrivalTimes:    opts.Arrivals,
+		},
+	}, pol, nil
+}
+
+// assemble converts an engine result into the public Result, mirroring Run.
+func assemble(res *sim.Result, w *Workload, m *Machine, pol sim.Policy) *Result {
+	out := &Result{
+		Policy:        res.Policy,
+		MakespanMs:    res.MakespanMs,
+		LambdaTotalMs: res.Lambda.TotalMs,
+		LambdaAvgMs:   res.Lambda.AvgMs,
+		LambdaStdMs:   res.Lambda.StdMs,
+		res:           res,
+		sys:           m.sys,
+		wl:            w,
+	}
+	for i := range res.Placements {
+		pl := res.Placements[i]
+		out.Kernels = append(out.Kernels, KernelRun{
+			Kernel:      int(pl.Kernel),
+			Name:        w.g.Kernel(pl.Kernel).Name,
+			Proc:        int(pl.Proc),
+			ProcName:    m.sys.Proc(pl.Proc).Name,
+			ReadyMs:     pl.Ready,
+			ExecStartMs: pl.ExecStart,
+			FinishMs:    pl.Finish,
+			LambdaMs:    pl.Lambda(),
+			TransferMs:  pl.ExecStart - pl.TransferStart,
+		})
+	}
+	for _, st := range res.ProcStats {
+		out.Procs = append(out.Procs, ProcUse{
+			Proc:    int(st.Proc),
+			Name:    m.sys.Proc(st.Proc).Name,
+			Kernels: st.Kernels,
+			ExecMs:  st.ExecMs,
+			XferMs:  st.XferMs,
+			IdleMs:  st.IdleMs,
+		})
+	}
+	if a, ok := pol.(*core.APT); ok {
+		s := a.Stats()
+		out.Alt = AltStats{
+			Assignments:    s.Assignments,
+			AltAssignments: s.AltAssignments,
+			ByKernel:       s.ByKernel,
+		}
+	} else {
+		out.Alt.ByKernel = map[string]int{}
+	}
+	return out
+}

@@ -53,25 +53,25 @@ func PeriodicArrivals(w *Workload, gapMs float64) ([]float64, error) {
 // KernelRun describes one kernel's lifecycle in a finished run. Times are
 // milliseconds since the run started.
 type KernelRun struct {
-	Kernel        int
-	Name          string
-	Proc          int
-	ProcName      string
-	ReadyMs       float64
-	ExecStartMs   float64
-	FinishMs      float64
-	LambdaMs      float64
-	TransferMs    float64
+	Kernel      int
+	Name        string
+	Proc        int
+	ProcName    string
+	ReadyMs     float64
+	ExecStartMs float64
+	FinishMs    float64
+	LambdaMs    float64
+	TransferMs  float64
 }
 
 // ProcUse is one processor's time accounting.
 type ProcUse struct {
-	Proc     int
-	Name     string
-	Kernels  int
-	ExecMs   float64
-	XferMs   float64
-	IdleMs   float64
+	Proc    int
+	Name    string
+	Kernels int
+	ExecMs  float64
+	XferMs  float64
+	IdleMs  float64
 }
 
 // AltStats reports how often APT used an alternative processor (zero for
@@ -104,79 +104,18 @@ func Run(w *Workload, m *Machine, p Policy, opts *Options) (*Result, error) {
 	if w == nil || m == nil {
 		return nil, fmt.Errorf("apt: Run requires a workload and a machine")
 	}
-	if opts == nil {
-		opts = &Options{}
-	}
-	mode := sim.TransferMax
-	if opts.SerialTransfers {
-		mode = sim.TransferSum
-	}
-	costs, err := sim.PrepareCosts(w.g, m.sys, lut.Paper(), sim.CostConfig{
-		ElemBytes: opts.ElemBytes,
-		Mode:      mode,
-	})
+	run, pol, err := prepareRun(RunConfig{Workload: w, Machine: m, Policy: p, Options: opts})
 	if err != nil {
 		return nil, err
 	}
-	pol, err := p.instantiate()
-	if err != nil {
-		return nil, err
-	}
-	res, err := sim.Run(costs, pol, sim.Options{
-		SchedOverheadMs: opts.SchedOverheadMs,
-		ArrivalTimes:    opts.Arrivals,
-	})
+	res, err := sim.Run(run.Costs, pol, run.Opt)
 	if err != nil {
 		return nil, err
 	}
 	if err := res.Validate(w.g, m.sys); err != nil {
 		return nil, fmt.Errorf("apt: internal error, invalid schedule: %w", err)
 	}
-	out := &Result{
-		Policy:        res.Policy,
-		MakespanMs:    res.MakespanMs,
-		LambdaTotalMs: res.Lambda.TotalMs,
-		LambdaAvgMs:   res.Lambda.AvgMs,
-		LambdaStdMs:   res.Lambda.StdMs,
-		res:           res,
-		sys:           m.sys,
-		wl:            w,
-	}
-	for i := range res.Placements {
-		pl := res.Placements[i]
-		out.Kernels = append(out.Kernels, KernelRun{
-			Kernel:      int(pl.Kernel),
-			Name:        w.g.Kernel(pl.Kernel).Name,
-			Proc:        int(pl.Proc),
-			ProcName:    m.sys.Proc(pl.Proc).Name,
-			ReadyMs:     pl.Ready,
-			ExecStartMs: pl.ExecStart,
-			FinishMs:    pl.Finish,
-			LambdaMs:    pl.Lambda(),
-			TransferMs:  pl.ExecStart - pl.TransferStart,
-		})
-	}
-	for _, st := range res.ProcStats {
-		out.Procs = append(out.Procs, ProcUse{
-			Proc:    int(st.Proc),
-			Name:    m.sys.Proc(st.Proc).Name,
-			Kernels: st.Kernels,
-			ExecMs:  st.ExecMs,
-			XferMs:  st.XferMs,
-			IdleMs:  st.IdleMs,
-		})
-	}
-	if a, ok := pol.(*core.APT); ok {
-		s := a.Stats()
-		out.Alt = AltStats{
-			Assignments:    s.Assignments,
-			AltAssignments: s.AltAssignments,
-			ByKernel:       s.ByKernel,
-		}
-	} else {
-		out.Alt.ByKernel = map[string]int{}
-	}
-	return out, nil
+	return assemble(res, w, m, pol), nil
 }
 
 // Gantt renders the schedule as a time-ordered event log.

@@ -41,27 +41,27 @@ func benchArtifact(b *testing.B, id string) {
 // One benchmark per paper table and figure (the evaluation chapter's full
 // set; see DESIGN.md §4 for the artifact-to-module index).
 
-func BenchmarkTable01(b *testing.B)  { benchArtifact(b, "table1") }
-func BenchmarkTable05(b *testing.B)  { benchArtifact(b, "table5") }
-func BenchmarkTable07(b *testing.B)  { benchArtifact(b, "table7") }
-func BenchmarkFigure05(b *testing.B) { benchArtifact(b, "figure5") }
-func BenchmarkTable08(b *testing.B)  { benchArtifact(b, "table8") }
-func BenchmarkFigure06(b *testing.B) { benchArtifact(b, "figure6") }
-func BenchmarkFigure07(b *testing.B) { benchArtifact(b, "figure7") }
+func BenchmarkTable01(b *testing.B)   { benchArtifact(b, "table1") }
+func BenchmarkTable05(b *testing.B)   { benchArtifact(b, "table5") }
+func BenchmarkTable07(b *testing.B)   { benchArtifact(b, "table7") }
+func BenchmarkFigure05(b *testing.B)  { benchArtifact(b, "figure5") }
+func BenchmarkTable08(b *testing.B)   { benchArtifact(b, "table8") }
+func BenchmarkFigure06(b *testing.B)  { benchArtifact(b, "figure6") }
+func BenchmarkFigure07(b *testing.B)  { benchArtifact(b, "figure7") }
 func BenchmarkFigure08a(b *testing.B) { benchArtifact(b, "figure8a") }
-func BenchmarkTable09(b *testing.B)  { benchArtifact(b, "table9") }
+func BenchmarkTable09(b *testing.B)   { benchArtifact(b, "table9") }
 func BenchmarkFigure08b(b *testing.B) { benchArtifact(b, "figure8b") }
-func BenchmarkTable10(b *testing.B)  { benchArtifact(b, "table10") }
-func BenchmarkFigure09(b *testing.B) { benchArtifact(b, "figure9") }
-func BenchmarkFigure10(b *testing.B) { benchArtifact(b, "figure10") }
-func BenchmarkTable11(b *testing.B)  { benchArtifact(b, "table11") }
-func BenchmarkFigure11(b *testing.B) { benchArtifact(b, "figure11") }
-func BenchmarkTable12(b *testing.B)  { benchArtifact(b, "table12") }
-func BenchmarkFigure12(b *testing.B) { benchArtifact(b, "figure12") }
-func BenchmarkTable13(b *testing.B)  { benchArtifact(b, "table13") }
-func BenchmarkTable14(b *testing.B)  { benchArtifact(b, "table14") }
-func BenchmarkTable15(b *testing.B)  { benchArtifact(b, "table15") }
-func BenchmarkTable16(b *testing.B)  { benchArtifact(b, "table16") }
+func BenchmarkTable10(b *testing.B)   { benchArtifact(b, "table10") }
+func BenchmarkFigure09(b *testing.B)  { benchArtifact(b, "figure9") }
+func BenchmarkFigure10(b *testing.B)  { benchArtifact(b, "figure10") }
+func BenchmarkTable11(b *testing.B)   { benchArtifact(b, "table11") }
+func BenchmarkFigure11(b *testing.B)  { benchArtifact(b, "figure11") }
+func BenchmarkTable12(b *testing.B)   { benchArtifact(b, "table12") }
+func BenchmarkFigure12(b *testing.B)  { benchArtifact(b, "figure12") }
+func BenchmarkTable13(b *testing.B)   { benchArtifact(b, "table13") }
+func BenchmarkTable14(b *testing.B)   { benchArtifact(b, "table14") }
+func BenchmarkTable15(b *testing.B)   { benchArtifact(b, "table15") }
+func BenchmarkTable16(b *testing.B)   { benchArtifact(b, "table16") }
 
 // Extension artifacts (not in the thesis; see DESIGN.md §7).
 

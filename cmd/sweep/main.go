@@ -10,14 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 
 	"repro/apt"
 )
@@ -67,46 +66,36 @@ func run(typ int, alphaCSV, rateCSV, polName string, seed int64, sizeCSV string)
 		workloads = append(workloads, w)
 	}
 
-	// Fan the (rate, alpha) grid across workers.
+	// Fan the (rate, alpha, workload) grid through the batch runner: one
+	// config per simulation, point-major so point i owns configs
+	// [i*len(workloads), (i+1)*len(workloads)).
 	var points []point
+	var cfgs []apt.RunConfig
 	for _, r := range rates {
+		m := apt.PaperMachine(r)
 		for _, a := range alphas {
+			pol, err := apt.ParsePolicy(polName, a, 1)
+			if err != nil {
+				return err
+			}
 			points = append(points, point{rate: r, alpha: a})
+			for _, w := range workloads {
+				cfgs = append(cfgs, apt.RunConfig{Workload: w, Machine: m, Policy: pol})
+			}
 		}
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	errCh := make(chan error, len(points))
-	for i := range points {
-		wg.Add(1)
-		go func(p *point) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			pol, err := apt.ParsePolicy(polName, p.alpha, 1)
-			if err != nil {
-				errCh <- err
-				return
-			}
-			m := apt.PaperMachine(p.rate)
-			var mkSum, lamSum float64
-			for _, w := range workloads {
-				res, err := apt.Run(w, m, pol, nil)
-				if err != nil {
-					errCh <- err
-					return
-				}
-				mkSum += res.MakespanMs
-				lamSum += res.LambdaTotalMs
-			}
-			p.makespan = mkSum / float64(len(workloads))
-			p.lambda = lamSum / float64(len(workloads))
-		}(&points[i])
-	}
-	wg.Wait()
-	close(errCh)
-	if err := <-errCh; err != nil {
+	results, err := apt.RunBatch(context.Background(), cfgs, nil)
+	if err != nil {
 		return err
+	}
+	for i := range points {
+		var mkSum, lamSum float64
+		for _, res := range results[i*len(workloads) : (i+1)*len(workloads)] {
+			mkSum += res.MakespanMs
+			lamSum += res.LambdaTotalMs
+		}
+		points[i].makespan = mkSum / float64(len(workloads))
+		points[i].lambda = lamSum / float64(len(workloads))
 	}
 
 	sort.Slice(points, func(i, j int) bool {

@@ -2,9 +2,13 @@
 // Flexible Scheduling on Heterogeneous Systems" (S. S. Karia, M.S. thesis,
 // Rochester Institute of Technology, March 2017).
 //
-// The public API lives in repro/apt; the simulator, policies and paper
-// experiment harness live under repro/internal. The benchmarks in this
-// directory regenerate every table and figure of the thesis's evaluation
-// chapter; see DESIGN.md for the experiment index and EXPERIMENTS.md for
-// paper-versus-measured results.
+// The public API lives in repro/apt: apt.Run simulates one workload on one
+// machine under one policy, and apt.RunBatch fans a slice of run configs
+// across a bounded worker pool with per-worker reusable engine state —
+// deterministically, so batch results are identical to sequential runs.
+// The simulator, policies and paper experiment harness live under
+// repro/internal. The benchmarks in this directory regenerate every table
+// and figure of the thesis's evaluation chapter; see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for paper-versus-measured results,
+// and README.md for the package map and quickstart.
 package repro

@@ -38,12 +38,12 @@ func buildPipeline() (*apt.Workload, error) {
 		align := wb.AddKernel("nw", 16777216)
 		connect := wb.AddKernel("bfs", 2034736)
 
-		wb.AddDep(denoise, project)  // denoised frame feeds the projection
-		wb.AddDep(chol, invert)      // model factorisation feeds inversion
-		wb.AddDep(invert, project)   // inverted operator applied to frame
-		wb.AddDep(project, align)    // projected frame scored
-		wb.AddDep(project, connect)  // and mesh-checked
-		wb.AddDep(align, agg)        // both analyses feed aggregation
+		wb.AddDep(denoise, project) // denoised frame feeds the projection
+		wb.AddDep(chol, invert)     // model factorisation feeds inversion
+		wb.AddDep(invert, project)  // inverted operator applied to frame
+		wb.AddDep(project, align)   // projected frame scored
+		wb.AddDep(project, connect) // and mesh-checked
+		wb.AddDep(align, agg)       // both analyses feed aggregation
 		wb.AddDep(connect, agg)
 	}
 	return wb.Build()

@@ -50,6 +50,14 @@ type APT struct {
 
 	c     *sim.Costs
 	stats AltStats
+
+	// Scratch buffers reused across Select calls; refilled from the engine
+	// via append-style accessors so steady-state scheduling is
+	// allocation-free.
+	ready []dfg.KernelID
+	procs []platform.ProcID
+	avail []bool
+	out   []sim.Assignment
 }
 
 // AltStats records how often APT exercised its flexibility — the data
@@ -107,14 +115,21 @@ func (a *APT) Stats() AltStats {
 // available; otherwise to the cheapest available alternative processor
 // within the threshold; otherwise it waits.
 func (a *APT) Select(st *sim.State) []sim.Assignment {
-	avail := make([]bool, st.System().NumProcs())
+	np := st.System().NumProcs()
+	if cap(a.avail) < np {
+		a.avail = make([]bool, np)
+	}
+	avail := a.avail[:np]
+	clear(avail)
+	a.procs = st.AppendAvailableProcs(a.procs[:0])
 	nAvail := 0
-	for _, p := range st.AvailableProcs() {
+	for _, p := range a.procs {
 		avail[p] = true
 		nAvail++
 	}
-	var out []sim.Assignment
-	for _, k := range st.Ready() {
+	a.ready = st.AppendReady(a.ready[:0])
+	out := a.out[:0]
+	for _, k := range a.ready {
 		if nAvail == 0 {
 			break
 		}
@@ -140,6 +155,7 @@ func (a *APT) Select(st *sim.State) []sim.Assignment {
 		a.stats.ByKernel[st.Graph().Kernel(k).Name]++
 		out = append(out, sim.Assignment{Kernel: k, Proc: palt})
 	}
+	a.out = out
 	return out
 }
 

@@ -39,11 +39,11 @@ func run(t *testing.T, c *sim.Costs, pol sim.Policy) *sim.Result {
 func figure5Graph(t *testing.T) *dfg.Graph {
 	t.Helper()
 	b := dfg.NewBuilder()
-	b.AddKernel(dfg.Kernel{Name: lut.NW, DataElems: 16777216})  // 0-nw
-	b.AddKernel(dfg.Kernel{Name: lut.BFS, DataElems: 2034736})  // 1-bfs
-	b.AddKernel(dfg.Kernel{Name: lut.BFS, DataElems: 2034736})  // 2-bfs
-	b.AddKernel(dfg.Kernel{Name: lut.BFS, DataElems: 2034736})  // 3-bfs
-	b.AddKernel(dfg.Kernel{Name: lut.CD, DataElems: 250000})    // 4-cd
+	b.AddKernel(dfg.Kernel{Name: lut.NW, DataElems: 16777216}) // 0-nw
+	b.AddKernel(dfg.Kernel{Name: lut.BFS, DataElems: 2034736}) // 1-bfs
+	b.AddKernel(dfg.Kernel{Name: lut.BFS, DataElems: 2034736}) // 2-bfs
+	b.AddKernel(dfg.Kernel{Name: lut.BFS, DataElems: 2034736}) // 3-bfs
+	b.AddKernel(dfg.Kernel{Name: lut.CD, DataElems: 250000})   // 4-cd
 	return b.MustBuild()
 }
 

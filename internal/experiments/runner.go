@@ -12,8 +12,8 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/core"
@@ -152,6 +152,39 @@ func (r *Runner) newPolicy(spec PolicySpec) (sim.Policy, error) {
 	}
 }
 
+// prepareCell builds the cost oracle and a fresh policy instance for one
+// (graph, rate, policy) cell.
+func (r *Runner) prepareCell(g *dfg.Graph, rate platform.GBps, spec PolicySpec) (*sim.Costs, sim.Policy, *platform.System, error) {
+	sys := platform.PaperSystem(rate)
+	costs, err := sim.PrepareCosts(g, sys, lut.Paper(), sim.CostConfig{
+		ElemBytes: r.cfg.ElemBytes,
+		Mode:      r.cfg.TransferMode,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pol, err := r.newPolicy(spec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return costs, pol, sys, nil
+}
+
+// outcomeOf converts an engine result into the cached Outcome form.
+func outcomeOf(spec PolicySpec, res *sim.Result, pol sim.Policy) *Outcome {
+	o := &Outcome{
+		Policy:        spec.Name,
+		MakespanMs:    res.MakespanMs,
+		LambdaTotalMs: res.Lambda.TotalMs,
+		LambdaAvgMs:   res.Lambda.AvgMs,
+		LambdaStdMs:   res.Lambda.StdMs,
+	}
+	if apt, ok := pol.(*core.APT); ok {
+		o.Alt = apt.Stats()
+	}
+	return o
+}
+
 // Run simulates one (graph type, experiment index, transfer rate, policy)
 // cell and memoises the outcome. graph is zero-based.
 func (r *Runner) Run(typ workload.GraphType, graph int, rate platform.GBps, spec PolicySpec) (*Outcome, error) {
@@ -168,15 +201,7 @@ func (r *Runner) Run(typ workload.GraphType, graph int, rate platform.GBps, spec
 		return nil, fmt.Errorf("experiments: graph index %d out of range [0,%d)", graph, len(graphs))
 	}
 	g := graphs[graph]
-	sys := platform.PaperSystem(rate)
-	costs, err := sim.PrepareCosts(g, sys, lut.Paper(), sim.CostConfig{
-		ElemBytes: r.cfg.ElemBytes,
-		Mode:      r.cfg.TransferMode,
-	})
-	if err != nil {
-		return nil, err
-	}
-	pol, err := r.newPolicy(spec)
+	costs, pol, sys, err := r.prepareCell(g, rate, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -188,16 +213,7 @@ func (r *Runner) Run(typ workload.GraphType, graph int, rate platform.GBps, spec
 		return nil, fmt.Errorf("experiments: %s on %v graph %d produced an invalid schedule: %w",
 			spec.Name, typ, graph+1, err)
 	}
-	o := &Outcome{
-		Policy:        spec.Name,
-		MakespanMs:    res.MakespanMs,
-		LambdaTotalMs: res.Lambda.TotalMs,
-		LambdaAvgMs:   res.Lambda.AvgMs,
-		LambdaStdMs:   res.Lambda.StdMs,
-	}
-	if apt, ok := pol.(*core.APT); ok {
-		o.Alt = apt.Stats()
-	}
+	o := outcomeOf(spec, res, pol)
 	r.mu.Lock()
 	r.cache[key] = o
 	r.mu.Unlock()
@@ -205,58 +221,55 @@ func (r *Runner) Run(typ workload.GraphType, graph int, rate platform.GBps, spec
 }
 
 // Suite runs one policy over all ten experiments of a suite and returns
-// the outcomes in experiment order.
+// the outcomes in experiment order. Uncached cells are fanned across the
+// engine's worker pool (sim.RunPool), which bounds concurrency at
+// GOMAXPROCS and reuses per-worker engine state; the whole per-cell
+// pipeline (cost preparation included) runs inside the pool, and results
+// are deterministic regardless of parallelism.
 func (r *Runner) Suite(typ workload.GraphType, rate platform.GBps, spec PolicySpec) ([]*Outcome, error) {
-	n := len(r.Graphs(typ))
-	out := make([]*Outcome, n)
-	errs := r.parallel(n, func(i int) error {
-		o, err := r.Run(typ, i, rate, spec)
+	graphs := r.Graphs(typ)
+	out := make([]*Outcome, len(graphs))
+	var missing []int
+	r.mu.Lock()
+	for i := range graphs {
+		if o, ok := r.cache[runKey{typ, i, rate, spec.Name, spec.Alpha}]; ok {
+			out[i] = o
+		} else {
+			missing = append(missing, i)
+		}
+	}
+	r.mu.Unlock()
+	if len(missing) == 0 {
+		return out, nil
+	}
+
+	errs := sim.RunPool(context.Background(), len(missing), 0, func(j int, runner *sim.Runner) error {
+		i := missing[j]
+		costs, pol, sys, err := r.prepareCell(graphs[i], rate, spec)
+		if err != nil {
+			return err
+		}
+		res, err := runner.Run(costs, pol, sim.Options{SchedOverheadMs: r.cfg.SchedOverheadMs})
+		if err != nil {
+			return err
+		}
+		if err := res.Validate(graphs[i], sys); err != nil {
+			return fmt.Errorf("experiments: %s on %v graph %d produced an invalid schedule: %w",
+				spec.Name, typ, i+1, err)
+		}
+		o := outcomeOf(spec, res, pol)
+		r.mu.Lock()
+		r.cache[runKey{typ, i, rate, spec.Name, spec.Alpha}] = o
+		r.mu.Unlock()
 		out[i] = o
-		return err
+		return nil
 	})
-	if errs != nil {
-		return nil, errs
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
-}
-
-// parallel runs fn(0..n-1) across a bounded worker pool and returns the
-// first error.
-func (r *Runner) parallel(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return firstErr
 }
 
 // avgMakespan averages makespans over a suite.

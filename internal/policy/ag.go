@@ -31,6 +31,10 @@ type AG struct {
 	Window int
 
 	c *sim.Costs
+
+	ready   []dfg.KernelID
+	extraMs []float64
+	out     []sim.Assignment
 }
 
 // DefaultAGWindow is the recent-history window used when AG.Window is 0.
@@ -56,9 +60,14 @@ func (a *AG) Prepare(c *sim.Costs) error {
 // batch feeds back into later estimates via extraQueued.
 func (a *AG) Select(st *sim.State) []sim.Assignment {
 	np := st.System().NumProcs()
-	extraMs := make([]float64, np)
-	var out []sim.Assignment
-	for _, k := range st.Ready() {
+	if cap(a.extraMs) < np {
+		a.extraMs = make([]float64, np)
+	}
+	extraMs := a.extraMs[:np]
+	clear(extraMs)
+	a.ready = st.AppendReady(a.ready[:0])
+	out := a.out[:0]
+	for _, k := range a.ready {
 		bestP := platform.ProcID(-1)
 		bestTau := math.Inf(1)
 		for p := 0; p < np; p++ {
@@ -71,6 +80,7 @@ func (a *AG) Select(st *sim.State) []sim.Assignment {
 		out = append(out, sim.Assignment{Kernel: k, Proc: bestP})
 		extraMs[bestP] += a.execOrRecent(st, k, bestP)
 	}
+	a.out = out
 	return out
 }
 

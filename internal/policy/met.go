@@ -3,6 +3,7 @@ package policy
 import (
 	"math/rand"
 
+	"repro/internal/dfg"
 	"repro/internal/platform"
 	"repro/internal/sim"
 )
@@ -21,6 +22,10 @@ type MET struct {
 
 	c   *sim.Costs
 	rng *rand.Rand
+
+	ready []dfg.KernelID
+	avail availSet
+	out   []sim.Assignment
 }
 
 // NewMET returns a MET policy with the given visiting-order seed.
@@ -42,24 +47,26 @@ func (m *MET) Prepare(c *sim.Costs) error {
 // systems with duplicated devices (two identical GPUs, say) use all of
 // them; on the paper's one-of-each system this reduces to the single pmin.
 func (m *MET) Select(st *sim.State) []sim.Assignment {
-	ready := st.Ready()
+	ready := st.AppendReady(m.ready[:0])
+	m.ready = ready
 	m.rng.Shuffle(len(ready), func(i, j int) { ready[i], ready[j] = ready[j], ready[i] })
-	avail := newAvailSet(st)
+	m.avail.reset(st)
 	np := st.System().NumProcs()
-	var out []sim.Assignment
+	out := m.out[:0]
 	for _, k := range ready {
-		if avail.empty() {
+		if m.avail.empty() {
 			break
 		}
 		_, best := m.c.BestProc(k)
 		for p := 0; p < np; p++ {
 			pid := platform.ProcID(p)
-			if m.c.Exec(k, pid) == best && avail.has(pid) {
-				avail.take(pid)
+			if m.c.Exec(k, pid) == best && m.avail.has(pid) {
+				m.avail.take(pid)
 				out = append(out, sim.Assignment{Kernel: k, Proc: pid})
 				break
 			}
 		}
 	}
+	m.out = out
 	return out
 }

@@ -3,6 +3,7 @@ package policy
 import (
 	"math/rand"
 
+	"repro/internal/dfg"
 	"repro/internal/platform"
 	"repro/internal/sim"
 )
@@ -15,7 +16,11 @@ import (
 // execution time of each task on the given hardware platform before making
 // assignments"); it is provided as the natural lower baseline for the
 // comparison tables.
-type OLB struct{}
+type OLB struct {
+	ready []dfg.KernelID
+	procs []platform.ProcID
+	out   []sim.Assignment
+}
 
 // NewOLB returns an OLB policy.
 func NewOLB() *OLB { return &OLB{} }
@@ -28,16 +33,19 @@ func (*OLB) Prepare(*sim.Costs) error { return nil }
 
 // Select implements sim.Policy: pair ready kernels with available
 // processors first-come-first-serve.
-func (*OLB) Select(st *sim.State) []sim.Assignment {
-	procs := st.AvailableProcs()
-	var out []sim.Assignment
-	for _, k := range st.Ready() {
+func (o *OLB) Select(st *sim.State) []sim.Assignment {
+	o.procs = st.AppendAvailableProcs(o.procs[:0])
+	o.ready = st.AppendReady(o.ready[:0])
+	procs := o.procs
+	out := o.out[:0]
+	for _, k := range o.ready {
 		if len(procs) == 0 {
 			break
 		}
 		out = append(out, sim.Assignment{Kernel: k, Proc: procs[0]})
 		procs = procs[1:]
 	}
+	o.out = out
 	return out
 }
 
@@ -53,6 +61,10 @@ type AR struct {
 
 	c   *sim.Costs
 	rng *rand.Rand
+
+	ready   []dfg.KernelID
+	weights []float64
+	out     []sim.Assignment
 }
 
 // NewAR returns an AR policy with the given seed.
@@ -71,9 +83,13 @@ func (a *AR) Prepare(c *sim.Costs) error {
 // Select implements sim.Policy.
 func (a *AR) Select(st *sim.State) []sim.Assignment {
 	np := st.System().NumProcs()
-	var out []sim.Assignment
-	for _, k := range st.Ready() {
-		weights := make([]float64, np)
+	if cap(a.weights) < np {
+		a.weights = make([]float64, np)
+	}
+	a.ready = st.AppendReady(a.ready[:0])
+	out := a.out[:0]
+	for _, k := range a.ready {
+		weights := a.weights[:np]
 		var total float64
 		for p := 0; p < np; p++ {
 			w := 1 / a.c.Exec(k, platform.ProcID(p))
@@ -91,5 +107,6 @@ func (a *AR) Select(st *sim.State) []sim.Assignment {
 		}
 		out = append(out, sim.Assignment{Kernel: k, Proc: platform.ProcID(chosen)})
 	}
+	a.out = out
 	return out
 }

@@ -184,8 +184,8 @@ func (h *rankHeap) Less(i, j int) bool {
 	}
 	return a < b
 }
-func (h *rankHeap) Swap(i, j int)       { h.ks[i], h.ks[j] = h.ks[j], h.ks[i] }
-func (h *rankHeap) Push(x interface{})  { h.ks = append(h.ks, x.(dfg.KernelID)) }
+func (h *rankHeap) Swap(i, j int)      { h.ks[i], h.ks[j] = h.ks[j], h.ks[i] }
+func (h *rankHeap) Push(x interface{}) { h.ks = append(h.ks, x.(dfg.KernelID)) }
 func (h *rankHeap) Pop() interface{} {
 	n := len(h.ks)
 	k := h.ks[n-1]

@@ -12,11 +12,15 @@
 // All policies implement sim.Policy. Dynamic policies inspect only the
 // ready set and the live system state; static policies compute a complete
 // schedule in Prepare from the full DFG and release it at time zero.
+//
+// Dynamic policies keep scratch buffers (ready list, availability set,
+// assignment batch) on the policy struct and refill them per Select via the
+// engine's append-style accessors, so steady-state scheduling does not
+// allocate. A policy instance therefore serves one simulation at a time.
 package policy
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/dfg"
 	"repro/internal/platform"
@@ -25,19 +29,27 @@ import (
 
 // availSet tracks processor availability while a policy builds one batch of
 // assignments within a single Select call: a processor consumed by an
-// assignment in this batch is no longer available to later kernels.
+// assignment in this batch is no longer available to later kernels. The
+// set's buffers are reused across Select calls via reset.
 type availSet struct {
-	avail map[platform.ProcID]bool
+	avail []bool            // indexed by ProcID
+	ids   []platform.ProcID // scratch for procs()
 	n     int
 }
 
-func newAvailSet(st *sim.State) *availSet {
-	s := &availSet{avail: map[platform.ProcID]bool{}}
-	for _, p := range st.AvailableProcs() {
-		s.avail[p] = true
-		s.n++
+// reset refills the set with the currently available processors.
+func (s *availSet) reset(st *sim.State) {
+	np := st.System().NumProcs()
+	if cap(s.avail) < np {
+		s.avail = make([]bool, np)
 	}
-	return s
+	s.avail = s.avail[:np]
+	clear(s.avail)
+	s.ids = st.AppendAvailableProcs(s.ids[:0])
+	for _, p := range s.ids {
+		s.avail[p] = true
+	}
+	s.n = len(s.ids)
 }
 
 func (s *availSet) has(p platform.ProcID) bool { return s.avail[p] }
@@ -50,16 +62,16 @@ func (s *availSet) take(p platform.ProcID) {
 	}
 }
 
-// procs returns the currently available processors in ID order.
+// procs returns the currently available processors in ID order. The slice
+// is valid until the next procs or reset call.
 func (s *availSet) procs() []platform.ProcID {
-	out := make([]platform.ProcID, 0, s.n)
+	s.ids = s.ids[:0]
 	for p, ok := range s.avail {
 		if ok {
-			out = append(out, p)
+			s.ids = append(s.ids, platform.ProcID(p))
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return s.ids
 }
 
 // bestAvailable returns the available processor with the minimum execution
@@ -67,9 +79,12 @@ func (s *availSet) procs() []platform.ProcID {
 func (s *availSet) bestAvailable(c *sim.Costs, k dfg.KernelID) (platform.ProcID, float64) {
 	best := platform.ProcID(-1)
 	bestMs := math.Inf(1)
-	for _, p := range s.procs() {
-		if ms := c.Exec(k, p); ms < bestMs {
-			best, bestMs = p, ms
+	for p, ok := range s.avail {
+		if !ok {
+			continue
+		}
+		if ms := c.Exec(k, platform.ProcID(p)); ms < bestMs {
+			best, bestMs = platform.ProcID(p), ms
 		}
 	}
 	return best, bestMs

@@ -16,6 +16,11 @@ import (
 // kernel's true best one, disregarding the heterogeneity of the system.
 type SPN struct {
 	c *sim.Costs
+
+	ready []dfg.KernelID
+	avail availSet
+	taken []bool // indexed by kernel ID; cleared per Select for ready kernels
+	out   []sim.Assignment
 }
 
 // NewSPN returns an SPN policy.
@@ -27,24 +32,27 @@ func (s *SPN) Name() string { return "SPN" }
 // Prepare implements sim.Policy.
 func (s *SPN) Prepare(c *sim.Costs) error {
 	s.c = c
+	s.taken = make([]bool, c.Graph().NumKernels())
 	return nil
 }
 
 // Select implements sim.Policy.
 func (s *SPN) Select(st *sim.State) []sim.Assignment {
-	ready := st.Ready()
-	avail := newAvailSet(st)
-	taken := map[dfg.KernelID]bool{}
-	var out []sim.Assignment
-	for !avail.empty() {
+	s.ready = st.AppendReady(s.ready[:0])
+	s.avail.reset(st)
+	for _, k := range s.ready {
+		s.taken[k] = false
+	}
+	out := s.out[:0]
+	for !s.avail.empty() {
 		bestK := dfg.KernelID(-1)
 		bestP := platform.ProcID(-1)
 		bestMs := math.Inf(1)
-		for _, k := range ready {
-			if taken[k] {
+		for _, k := range s.ready {
+			if s.taken[k] {
 				continue
 			}
-			p, ms := avail.bestAvailable(s.c, k)
+			p, ms := s.avail.bestAvailable(s.c, k)
 			if p >= 0 && ms < bestMs {
 				bestK, bestP, bestMs = k, p, ms
 			}
@@ -52,9 +60,10 @@ func (s *SPN) Select(st *sim.State) []sim.Assignment {
 		if bestK < 0 {
 			break // no schedulable kernel left
 		}
-		taken[bestK] = true
-		avail.take(bestP)
+		s.taken[bestK] = true
+		s.avail.take(bestP)
 		out = append(out, sim.Assignment{Kernel: bestK, Proc: bestP})
 	}
+	s.out = out
 	return out
 }

@@ -16,6 +16,12 @@ import (
 // SS will settle for a slow processor rather than wait for the best one.
 type SS struct {
 	c *sim.Costs
+
+	ready []dfg.KernelID
+	avail availSet
+	taken []bool // indexed by kernel ID; cleared per Select for ready kernels
+	times []float64
+	out   []sim.Assignment
 }
 
 // NewSS returns an SS policy.
@@ -27,27 +33,33 @@ func (s *SS) Name() string { return "SS" }
 // Prepare implements sim.Policy.
 func (s *SS) Prepare(c *sim.Costs) error {
 	s.c = c
+	s.taken = make([]bool, c.Graph().NumKernels())
 	return nil
 }
 
 // Select implements sim.Policy.
 func (s *SS) Select(st *sim.State) []sim.Assignment {
-	ready := st.Ready()
-	avail := newAvailSet(st)
-	taken := map[dfg.KernelID]bool{}
-	var out []sim.Assignment
-	for !avail.empty() {
-		procs := avail.procs()
+	s.ready = st.AppendReady(s.ready[:0])
+	s.avail.reset(st)
+	for _, k := range s.ready {
+		s.taken[k] = false
+	}
+	out := s.out[:0]
+	for !s.avail.empty() {
+		procs := s.avail.procs()
 		if len(procs) == 0 {
 			break
 		}
 		bestK := dfg.KernelID(-1)
 		bestSD := -1.0
-		for _, k := range ready {
-			if taken[k] {
+		if cap(s.times) < len(procs) {
+			s.times = make([]float64, len(procs))
+		}
+		times := s.times[:len(procs)]
+		for _, k := range s.ready {
+			if s.taken[k] {
 				continue
 			}
-			times := make([]float64, len(procs))
 			for i, p := range procs {
 				times[i] = s.c.Exec(k, p)
 			}
@@ -58,10 +70,11 @@ func (s *SS) Select(st *sim.State) []sim.Assignment {
 		if bestK < 0 {
 			break
 		}
-		p, _ := avail.bestAvailable(s.c, bestK)
-		taken[bestK] = true
-		avail.take(p)
+		p, _ := s.avail.bestAvailable(s.c, bestK)
+		s.taken[bestK] = true
+		s.avail.take(p)
 		out = append(out, sim.Assignment{Kernel: bestK, Proc: p})
 	}
+	s.out = out
 	return out
 }

@@ -128,8 +128,8 @@ func TestGanttAndUtilisation(t *testing.T) {
 // assignAll sends every ready kernel to processor 0.
 type assignAll struct{}
 
-func (assignAll) Name() string              { return "assignAll" }
-func (assignAll) Prepare(*sim.Costs) error  { return nil }
+func (assignAll) Name() string             { return "assignAll" }
+func (assignAll) Prepare(*sim.Costs) error { return nil }
 func (assignAll) Select(st *sim.State) []sim.Assignment {
 	var out []sim.Assignment
 	for _, k := range st.Ready() {

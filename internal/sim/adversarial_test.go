@@ -19,8 +19,8 @@ import (
 // partialPolicy assigns only every other ready kernel per call.
 type partialPolicy struct{ flip bool }
 
-func (p *partialPolicy) Name() string          { return "partial" }
-func (p *partialPolicy) Prepare(*Costs) error  { return nil }
+func (p *partialPolicy) Name() string         { return "partial" }
+func (p *partialPolicy) Prepare(*Costs) error { return nil }
 func (p *partialPolicy) Select(st *State) []Assignment {
 	var out []Assignment
 	procs := st.AvailableProcs()
@@ -65,8 +65,8 @@ func TestPartialAssignmentStillCompletes(t *testing.T) {
 // (static-style bulk commitment).
 type hoarder struct{ done bool }
 
-func (h *hoarder) Name() string          { return "hoarder" }
-func (h *hoarder) Prepare(*Costs) error  { h.done = false; return nil }
+func (h *hoarder) Name() string         { return "hoarder" }
+func (h *hoarder) Prepare(*Costs) error { h.done = false; return nil }
 func (h *hoarder) Select(st *State) []Assignment {
 	if h.done {
 		return nil
@@ -103,8 +103,8 @@ func TestHoarderSerializesEverything(t *testing.T) {
 // behind it — the engine must report the deadlock instead of hanging.
 type reverseHoarder struct{ done bool }
 
-func (h *reverseHoarder) Name() string          { return "reverse-hoarder" }
-func (h *reverseHoarder) Prepare(*Costs) error  { h.done = false; return nil }
+func (h *reverseHoarder) Name() string         { return "reverse-hoarder" }
+func (h *reverseHoarder) Prepare(*Costs) error { h.done = false; return nil }
 func (h *reverseHoarder) Select(st *State) []Assignment {
 	if h.done {
 		return nil
@@ -138,8 +138,8 @@ type lazyPolicy struct {
 	inner   greedy
 }
 
-func (l *lazyPolicy) Name() string            { return "lazy" }
-func (l *lazyPolicy) Prepare(c *Costs) error  { return l.inner.Prepare(c) }
+func (l *lazyPolicy) Name() string           { return "lazy" }
+func (l *lazyPolicy) Prepare(c *Costs) error { return l.inner.Prepare(c) }
 func (l *lazyPolicy) Select(st *State) []Assignment {
 	if st.Now() < l.trigger {
 		return nil

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -28,6 +27,10 @@ type Assignment struct {
 // policy prefers to wait). Dynamic policies must restrict themselves to
 // st.Ready() kernels; static policies may assign any unassigned kernel
 // (the engine starts it only once its dependencies complete).
+//
+// The engine consumes the slice returned by Select before the next Select
+// call, so policies may reuse one backing array across calls to avoid
+// per-event allocation.
 type Policy interface {
 	Name() string
 	Prepare(c *Costs) error
@@ -96,20 +99,20 @@ func (p Placement) Lambda() float64 { return p.Finish - p.Ready - p.BestExecMs }
 
 // ProcStat aggregates one processor's time accounting over a run.
 type ProcStat struct {
-	Proc     platform.ProcID
-	ExecMs   float64 // time spent executing kernels
-	XferMs   float64 // time spent receiving input data
-	IdleMs   float64 // Makespan - ExecMs - XferMs
-	Kernels  int     // kernels executed
+	Proc    platform.ProcID
+	ExecMs  float64 // time spent executing kernels
+	XferMs  float64 // time spent receiving input data
+	IdleMs  float64 // Makespan - ExecMs - XferMs
+	Kernels int     // kernels executed
 }
 
 // LambdaStats aggregates λ delays per the thesis (§3.2 metrics 6–8).
 type LambdaStats struct {
 	TotalMs float64
 	// Count is N: the number of kernels that experienced a non-zero delay.
-	Count  int
-	AvgMs  float64 // TotalMs / Count (0 if Count == 0), Eq. 11
-	StdMs  float64 // population stddev over the non-zero delays, Eq. 12
+	Count int
+	AvgMs float64 // TotalMs / Count (0 if Count == 0), Eq. 11
+	StdMs float64 // population stddev over the non-zero delays, Eq. 12
 }
 
 // Result is everything a finished simulation reports.
@@ -144,26 +147,86 @@ type event struct {
 	proc   platform.ProcID // evFinish only
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events: by time, completions before arrivals at ties, then
+// by kernel ID for full determinism.
+func (a event) before(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	if h[i].kind != h[j].kind {
-		return h[i].kind < h[j].kind // completions before arrivals at ties
+	if a.kind != b.kind {
+		return a.kind < b.kind
 	}
-	return h[i].kernel < h[j].kernel
+	return a.kernel < b.kernel
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// pushEvent adds an event to the engine's min-heap. The heap is hand-rolled
+// (rather than container/heap) so pushes and pops never box events into
+// interfaces — this keeps the event loop allocation-free once the backing
+// array has grown to its high-water mark.
+func (e *engine) pushEvent(ev event) {
+	e.events = append(e.events, ev)
+	i := len(e.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.events[i].before(e.events[parent]) {
+			break
+		}
+		e.events[i], e.events[parent] = e.events[parent], e.events[i]
+		i = parent
+	}
+}
+
+// popEvent removes and returns the earliest event. Callers must check
+// len(e.events) > 0 first.
+func (e *engine) popEvent() event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	e.events = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h[l].before(h[smallest]) {
+			smallest = l
+		}
+		if r < n && h[r].before(h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
+}
+
+// procQueue is one processor's FIFO of committed-but-not-started kernels.
+// Dequeuing advances head instead of reslicing so the backing array is
+// reusable across runs.
+type procQueue struct {
+	items []dfg.KernelID
+	head  int
+}
+
+func (q *procQueue) len() int            { return len(q.items) - q.head }
+func (q *procQueue) peek() dfg.KernelID  { return q.items[q.head] }
+func (q *procQueue) push(k dfg.KernelID) { q.items = append(q.items, k) }
+
+func (q *procQueue) pop() {
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+}
+
+func (q *procQueue) reset() {
+	q.items = q.items[:0]
+	q.head = 0
 }
 
 // State is the read-only view a policy receives in Select.
@@ -184,12 +247,26 @@ func (s *State) System() *platform.System { return s.e.costs.sys }
 // Ready returns the kernels whose dependencies have completed and that have
 // not been assigned yet, in first-come-first-serve order: ascending by the
 // time they became ready, ties by kernel ID (which is stream order).
-// The returned slice is fresh and owned by the caller.
+// The returned slice is fresh and owned by the caller. Allocation-sensitive
+// policies should prefer AppendReady with a reused buffer.
 func (s *State) Ready() []dfg.KernelID {
-	out := make([]dfg.KernelID, len(s.e.ready))
-	copy(out, s.e.ready)
-	return out
+	return s.AppendReady(make([]dfg.KernelID, 0, s.e.readyLen()))
 }
+
+// AppendReady appends the ready kernels (same order as Ready) to buf and
+// returns the extended slice. Passing buf[:0] of a buffer retained across
+// Select calls makes the query allocation-free.
+func (s *State) AppendReady(buf []dfg.KernelID) []dfg.KernelID {
+	for _, k := range s.e.ready {
+		if k >= 0 {
+			buf = append(buf, k)
+		}
+	}
+	return buf
+}
+
+// ReadyLen returns the number of ready, unassigned kernels.
+func (s *State) ReadyLen() int { return s.e.readyLen() }
 
 // Unassigned reports whether the kernel has not been committed yet.
 func (s *State) Unassigned(k dfg.KernelID) bool { return !s.e.assigned[k] }
@@ -200,18 +277,25 @@ func (s *State) Finished(k dfg.KernelID) bool { return s.e.finished[k] }
 // Available reports whether processor p is idle: executing no kernel and no
 // transfer, with an empty queue (the paper's set A).
 func (s *State) Available(p platform.ProcID) bool {
-	return s.e.running[p] < 0 && len(s.e.queues[p]) == 0
+	return s.e.running[p] < 0 && s.e.queues[p].len() == 0
 }
 
-// AvailableProcs returns all available processors in ID order.
+// AvailableProcs returns all available processors in ID order. The returned
+// slice is fresh; allocation-sensitive policies should prefer
+// AppendAvailableProcs with a reused buffer.
 func (s *State) AvailableProcs() []platform.ProcID {
-	var out []platform.ProcID
+	return s.AppendAvailableProcs(nil)
+}
+
+// AppendAvailableProcs appends the available processors in ID order to buf
+// and returns the extended slice.
+func (s *State) AppendAvailableProcs(buf []platform.ProcID) []platform.ProcID {
 	for p := range s.e.running {
 		if s.Available(platform.ProcID(p)) {
-			out = append(out, platform.ProcID(p))
+			buf = append(buf, platform.ProcID(p))
 		}
 	}
-	return out
+	return buf
 }
 
 // BusyUntil returns the time the processor's current work (running kernel
@@ -223,21 +307,28 @@ func (s *State) BusyUntil(p platform.ProcID) float64 {
 	if s.e.busyUntil[p] > t {
 		t = s.e.busyUntil[p]
 	}
-	for _, k := range s.e.queues[p] {
+	q := &s.e.queues[p]
+	for _, k := range q.items[q.head:] {
 		t += s.e.costs.Exec(k, p)
 	}
 	return t
 }
 
 // QueueLen returns the number of committed-but-not-started kernels on p.
-func (s *State) QueueLen(p platform.ProcID) int { return len(s.e.queues[p]) }
+func (s *State) QueueLen(p platform.ProcID) int { return s.e.queues[p].len() }
 
 // QueuedKernels returns the committed-but-not-started kernels on p in queue
-// order. Fresh slice.
+// order. Fresh slice; allocation-sensitive callers should prefer
+// AppendQueuedKernels.
 func (s *State) QueuedKernels(p platform.ProcID) []dfg.KernelID {
-	out := make([]dfg.KernelID, len(s.e.queues[p]))
-	copy(out, s.e.queues[p])
-	return out
+	return s.AppendQueuedKernels(nil, p)
+}
+
+// AppendQueuedKernels appends p's committed-but-not-started kernels in
+// queue order to buf and returns the extended slice.
+func (s *State) AppendQueuedKernels(buf []dfg.KernelID, p platform.ProcID) []dfg.KernelID {
+	q := &s.e.queues[p]
+	return append(buf, q.items[q.head:]...)
 }
 
 // ProcOf returns the processor a kernel was committed to and whether it has
@@ -267,37 +358,110 @@ func (s *State) RecentExecAvg(p platform.ProcID, k int) float64 {
 	return sum / float64(k)
 }
 
-// engine is the mutable simulation state.
+// engine is the mutable simulation state. A Runner reuses one engine (and
+// its buffers) across runs; only state that escapes into the Result
+// (placements, proc stats) is allocated fresh per run.
 type engine struct {
 	costs  *Costs // what the policy sees (estimates)
 	actual *Costs // what execution takes (reality)
 	pol    Policy
 	opt    Options
 
-	now       float64
-	ready     []dfg.KernelID // FIFO: (readyTime, id) ascending
+	now float64
+	// ready is the FIFO of ready, unassigned kernels: ascending by
+	// (readyTime, id). Removed entries become -1 tombstones so commit()
+	// stays O(1) without disturbing FCFS order; the list is compacted once
+	// tombstones outnumber live entries.
+	ready      []dfg.KernelID
+	readyHoles int
+	// readyIdx maps kernel ID -> its index in ready, or -1 when absent.
+	readyIdx  []int
 	readyAt   []float64
 	predsLeft []int
 	arrived   []bool
 	assigned  []bool
 	finished  []bool
 	procOf    []platform.ProcID
-	queues    [][]dfg.KernelID
+	queues    []procQueue
 	running   []dfg.KernelID // -1 when idle
 	busyUntil []float64
 	history   [][]float64
 
-	placements  []Placement
-	events      eventHeap
+	placements  []Placement // escapes into Result: fresh per run
+	events      []event     // min-heap ordered by event.before
+	lambdas     []float64
 	nFinished   int
 	selectCalls int
 	assignments int
+
+	// placeFn resolves a predecessor's processor for transfer pricing. It is
+	// built once per engine (not per start call) so the hot path does not
+	// allocate a closure per kernel launch.
+	placeFn func(dfg.KernelID) platform.ProcID
 }
+
+func (e *engine) readyLen() int { return len(e.ready) - e.readyHoles }
+
+// pushReady appends a kernel to the ready FIFO.
+func (e *engine) pushReady(k dfg.KernelID) {
+	e.readyIdx[k] = len(e.ready)
+	e.ready = append(e.ready, k)
+}
+
+// removeReady drops a kernel from the ready FIFO in O(1) amortised time by
+// tombstoning its slot; order of the remaining entries is unchanged.
+func (e *engine) removeReady(k dfg.KernelID) {
+	i := e.readyIdx[k]
+	if i < 0 {
+		return
+	}
+	e.ready[i] = -1
+	e.readyIdx[k] = -1
+	e.readyHoles++
+	if e.readyHoles > len(e.ready)-e.readyHoles {
+		e.compactReady()
+	}
+}
+
+// compactReady squeezes tombstones out of the ready list in place.
+func (e *engine) compactReady() {
+	live := e.ready[:0]
+	for _, k := range e.ready {
+		if k >= 0 {
+			e.readyIdx[k] = len(live)
+			live = append(live, k)
+		}
+	}
+	e.ready = live
+	e.readyHoles = 0
+}
+
+// grow returns s resized to n elements, reusing its backing array when
+// possible. Contents are unspecified; callers must reinitialise.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// Runner executes simulations while reusing the engine's internal buffers
+// across runs — the event heap, ready list, per-processor queues and all
+// per-kernel bookkeeping arrays survive between calls, so a warm Runner
+// allocates only what escapes into each Result. A Runner is NOT safe for
+// concurrent use; RunBatch gives every worker its own.
+type Runner struct {
+	e engine
+}
+
+// NewRunner returns an empty Runner; buffers grow to the high-water mark of
+// the runs it executes.
+func NewRunner() *Runner { return &Runner{} }
 
 // Run simulates graph execution under the policy and returns the metrics.
 // The cost oracle must have been prepared for the same graph the policy
-// will schedule.
-func Run(c *Costs, pol Policy, opt Options) (*Result, error) {
+// will schedule. Equivalent to the package-level Run but reuses state.
+func (r *Runner) Run(c *Costs, pol Policy, opt Options) (*Result, error) {
 	if c == nil || pol == nil {
 		return nil, fmt.Errorf("sim: Run requires costs and a policy")
 	}
@@ -325,32 +489,10 @@ func Run(c *Costs, pol Policy, opt Options) (*Result, error) {
 	if err := pol.Prepare(c); err != nil {
 		return nil, fmt.Errorf("sim: policy %s prepare: %w", pol.Name(), err)
 	}
+	e := &r.e
+	e.reset(c, actual, pol, opt)
 	g := c.g
 	n := g.NumKernels()
-	np := c.sys.NumProcs()
-	e := &engine{
-		costs:      c,
-		actual:     actual,
-		pol:        pol,
-		opt:        opt,
-		readyAt:    make([]float64, n),
-		predsLeft:  make([]int, n),
-		arrived:    make([]bool, n),
-		assigned:   make([]bool, n),
-		finished:   make([]bool, n),
-		procOf:     make([]platform.ProcID, n),
-		queues:     make([][]dfg.KernelID, np),
-		running:    make([]dfg.KernelID, np),
-		busyUntil:  make([]float64, np),
-		history:    make([][]float64, np),
-		placements: make([]Placement, n),
-	}
-	for i := range e.procOf {
-		e.procOf[i] = -1
-	}
-	for p := range e.running {
-		e.running[p] = -1
-	}
 	for id := 0; id < n; id++ {
 		e.predsLeft[id] = g.InDegree(dfg.KernelID(id))
 		arrival := 0.0
@@ -359,12 +501,12 @@ func Run(c *Costs, pol Policy, opt Options) (*Result, error) {
 		}
 		if arrival > 0 {
 			e.placements[id].Ready = arrival // provisional; finalised on readiness
-			heap.Push(&e.events, event{at: arrival, kind: evArrival, kernel: dfg.KernelID(id)})
+			e.pushEvent(event{at: arrival, kind: evArrival, kernel: dfg.KernelID(id)})
 			continue
 		}
 		e.arrived[id] = true
 		if e.predsLeft[id] == 0 {
-			e.ready = append(e.ready, dfg.KernelID(id))
+			e.pushReady(dfg.KernelID(id))
 		}
 	}
 	st := &State{e: e}
@@ -374,9 +516,9 @@ func Run(c *Costs, pol Policy, opt Options) (*Result, error) {
 		e.startQueued()
 		if len(e.events) == 0 {
 			return nil, fmt.Errorf("sim: policy %s deadlocked at t=%v with %d/%d kernels finished (%d ready)",
-				pol.Name(), e.now, e.nFinished, n, len(e.ready))
+				pol.Name(), e.now, e.nFinished, n, e.readyLen())
 		}
-		ev := heap.Pop(&e.events).(event)
+		ev := e.popEvent()
 		if ev.at < e.now {
 			return nil, fmt.Errorf("sim: time went backwards: %v -> %v", e.now, ev.at)
 		}
@@ -391,6 +533,71 @@ func Run(c *Costs, pol Policy, opt Options) (*Result, error) {
 	return e.result(), nil
 }
 
+// reset re-dimensions the engine for a run, reusing buffers from previous
+// runs where capacities allow.
+func (e *engine) reset(c, actual *Costs, pol Policy, opt Options) {
+	n := c.g.NumKernels()
+	np := c.sys.NumProcs()
+	e.costs = c
+	e.actual = actual
+	e.pol = pol
+	e.opt = opt
+	e.now = 0
+	e.nFinished = 0
+	e.selectCalls = 0
+	e.assignments = 0
+
+	e.ready = e.ready[:0]
+	e.readyHoles = 0
+	e.events = e.events[:0]
+	e.lambdas = e.lambdas[:0]
+
+	e.readyIdx = grow(e.readyIdx, n)
+	e.readyAt = grow(e.readyAt, n)
+	e.predsLeft = grow(e.predsLeft, n)
+	e.arrived = grow(e.arrived, n)
+	e.assigned = grow(e.assigned, n)
+	e.finished = grow(e.finished, n)
+	e.procOf = grow(e.procOf, n)
+	for i := 0; i < n; i++ {
+		e.readyIdx[i] = -1
+		e.readyAt[i] = 0
+		e.predsLeft[i] = 0
+		e.arrived[i] = false
+		e.assigned[i] = false
+		e.finished[i] = false
+		e.procOf[i] = -1
+	}
+
+	e.queues = grow(e.queues, np)
+	e.running = grow(e.running, np)
+	e.busyUntil = grow(e.busyUntil, np)
+	e.history = grow(e.history, np)
+	for p := 0; p < np; p++ {
+		e.queues[p].reset()
+		e.running[p] = -1
+		e.busyUntil[p] = 0
+		if e.history[p] != nil {
+			e.history[p] = e.history[p][:0]
+		}
+	}
+
+	if e.placeFn == nil {
+		e.placeFn = func(pred dfg.KernelID) platform.ProcID { return e.procOf[pred] }
+	}
+
+	// Placements escape into the Result, so they are always fresh.
+	e.placements = make([]Placement, n)
+}
+
+// Run simulates graph execution under the policy and returns the metrics.
+// The cost oracle must have been prepared for the same graph the policy
+// will schedule. For many runs, prefer a Runner (or RunBatch), which reuses
+// engine state.
+func Run(c *Costs, pol Policy, opt Options) (*Result, error) {
+	return NewRunner().Run(c, pol, opt)
+}
+
 // arrive marks a paced kernel as present in the stream.
 func (e *engine) arrive(k dfg.KernelID) {
 	e.arrived[k] = true
@@ -398,7 +605,7 @@ func (e *engine) arrive(k dfg.KernelID) {
 		e.readyAt[k] = e.now
 		e.placements[k].Ready = e.now
 		if !e.assigned[k] {
-			e.ready = append(e.ready, k)
+			e.pushReady(k)
 		}
 	}
 }
@@ -430,29 +637,24 @@ func (e *engine) commit(a Assignment) {
 	e.placements[a.Kernel].Assign = e.now
 	_, best := e.actual.BestProc(a.Kernel)
 	e.placements[a.Kernel].BestExecMs = best
-	e.queues[a.Proc] = append(e.queues[a.Proc], a.Kernel)
+	e.queues[a.Proc].push(a.Kernel)
 	// Drop from the ready list if present (static policies may assign
-	// kernels that are not ready yet).
-	for i, k := range e.ready {
-		if k == a.Kernel {
-			e.ready = append(e.ready[:i], e.ready[i+1:]...)
-			break
-		}
-	}
+	// kernels that are not ready yet, in any order).
+	e.removeReady(a.Kernel)
 }
 
 // startQueued starts the head of every idle processor's queue whose
 // dependencies have completed.
 func (e *engine) startQueued() {
 	for p := range e.queues {
-		if e.running[p] >= 0 || len(e.queues[p]) == 0 {
+		if e.running[p] >= 0 || e.queues[p].len() == 0 {
 			continue
 		}
-		k := e.queues[p][0]
+		k := e.queues[p].peek()
 		if e.predsLeft[k] > 0 || !e.arrived[k] {
 			continue // head blocked on dependencies or not yet arrived
 		}
-		e.queues[p] = e.queues[p][1:]
+		e.queues[p].pop()
 		e.start(k, platform.ProcID(p))
 	}
 }
@@ -460,15 +662,13 @@ func (e *engine) startQueued() {
 func (e *engine) start(k dfg.KernelID, p platform.ProcID) {
 	pl := &e.placements[k]
 	pl.TransferStart = e.now + e.opt.SchedOverheadMs
-	xfer := e.actual.TransferIn(k, p, func(pred dfg.KernelID) platform.ProcID {
-		return e.procOf[pred]
-	})
+	xfer := e.actual.TransferIn(k, p, e.placeFn)
 	pl.ExecStart = pl.TransferStart + xfer
 	exec := e.actual.Exec(k, p)
 	pl.Finish = pl.ExecStart + exec
 	e.running[p] = k
 	e.busyUntil[p] = pl.Finish
-	heap.Push(&e.events, event{at: pl.Finish, kernel: k, proc: p})
+	e.pushEvent(event{at: pl.Finish, kernel: k, proc: p})
 }
 
 func (e *engine) complete(ev event) {
@@ -483,7 +683,7 @@ func (e *engine) complete(ev event) {
 			e.readyAt[s] = e.now
 			e.placements[s].Ready = e.now
 			if !e.assigned[s] {
-				e.ready = append(e.ready, s)
+				e.pushReady(s)
 			}
 		}
 	}
@@ -502,7 +702,7 @@ func (e *engine) result() *Result {
 		res.ProcStats[p].Proc = platform.ProcID(p)
 	}
 	var makespan float64
-	var lambdas []float64
+	lambdas := e.lambdas[:0]
 	for i := range e.placements {
 		pl := &e.placements[i]
 		if pl.Finish > makespan {
@@ -516,6 +716,7 @@ func (e *engine) result() *Result {
 			lambdas = append(lambdas, l)
 		}
 	}
+	e.lambdas = lambdas
 	res.MakespanMs = makespan
 	for p := range res.ProcStats {
 		st := &res.ProcStats[p]

@@ -39,7 +39,7 @@ func tiny(t *testing.T, rate platform.GBps) tinyEnv {
 // the minimum execution time; if none is available, it waits.
 type greedy struct{ c *Costs }
 
-func (g *greedy) Name() string          { return "greedy" }
+func (g *greedy) Name() string           { return "greedy" }
 func (g *greedy) Prepare(c *Costs) error { g.c = c; return nil }
 func (g *greedy) Select(st *State) []Assignment {
 	var out []Assignment
@@ -66,8 +66,8 @@ func (g *greedy) Select(st *State) []Assignment {
 // never is a policy that refuses to assign anything.
 type never struct{}
 
-func (never) Name() string              { return "never" }
-func (never) Prepare(*Costs) error      { return nil }
+func (never) Name() string               { return "never" }
+func (never) Prepare(*Costs) error       { return nil }
 func (never) Select(*State) []Assignment { return nil }
 
 // fixed replays a fixed assignment list, all at t=0.
@@ -76,8 +76,8 @@ type fixed struct {
 	done bool
 }
 
-func (f *fixed) Name() string          { return "fixed" }
-func (f *fixed) Prepare(*Costs) error  { return nil }
+func (f *fixed) Name() string         { return "fixed" }
+func (f *fixed) Prepare(*Costs) error { return nil }
 func (f *fixed) Select(*State) []Assignment {
 	if f.done {
 		return nil
