@@ -124,6 +124,9 @@ func prepareRun(cfg RunConfig) (sim.BatchRun, sim.Policy, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
+	if err := validateArrivals(cfg.Workload.NumKernels(), opts.Arrivals); err != nil {
+		return sim.BatchRun{}, nil, err
+	}
 	mode := sim.TransferMax
 	if opts.SerialTransfers {
 		mode = sim.TransferSum
@@ -157,6 +160,8 @@ func assemble(res *sim.Result, w *Workload, m *Machine, pol sim.Policy) *Result 
 		LambdaTotalMs: res.Lambda.TotalMs,
 		LambdaAvgMs:   res.Lambda.AvgMs,
 		LambdaStdMs:   res.Lambda.StdMs,
+		Sojourn:       latencyStats(res.Sojourn),
+		QueueWait:     latencyStats(res.QueueWait),
 		res:           res,
 		sys:           m.sys,
 		wl:            w,
@@ -168,11 +173,14 @@ func assemble(res *sim.Result, w *Workload, m *Machine, pol sim.Policy) *Result 
 			Name:        w.g.Kernel(pl.Kernel).Name,
 			Proc:        int(pl.Proc),
 			ProcName:    m.sys.Proc(pl.Proc).Name,
+			ArrivalMs:   pl.Arrival,
 			ReadyMs:     pl.Ready,
 			ExecStartMs: pl.ExecStart,
 			FinishMs:    pl.Finish,
 			LambdaMs:    pl.Lambda(),
 			TransferMs:  pl.ExecStart - pl.TransferStart,
+			SojournMs:   pl.Sojourn(),
+			QueueWaitMs: pl.QueueWait(),
 		})
 	}
 	for _, st := range res.ProcStats {

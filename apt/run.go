@@ -3,6 +3,7 @@ package apt
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"strings"
 
@@ -50,6 +51,99 @@ func PeriodicArrivals(w *Workload, gapMs float64) ([]float64, error) {
 	return workload.PeriodicArrivals(w.g, gapMs)
 }
 
+// BurstyConfig shapes BurstyArrivals: mean in-burst gap, mean burst
+// duration and mean idle duration, all in milliseconds.
+type BurstyConfig = workload.BurstyConfig
+
+// BurstyArrivals returns a Markov-modulated on/off arrival schedule:
+// Poisson arrivals with mean gap cfg.BurstGapMs while a burst is on,
+// silence while it is off, with exponentially distributed burst and idle
+// durations (means cfg.BurstMs and cfg.IdleMs). The classic bursty-traffic
+// model: same average rate as a Poisson stream, much harder on tails.
+func BurstyArrivals(w *Workload, cfg BurstyConfig, seed int64) ([]float64, error) {
+	return workload.BurstyArrivals(w.g, cfg, seed)
+}
+
+// DiurnalConfig shapes DiurnalArrivals: mean gap at the average rate, the
+// rate cycle's period, and the relative rate swing in [0, 1).
+type DiurnalConfig = workload.DiurnalConfig
+
+// DiurnalArrivals returns a non-homogeneous Poisson arrival schedule whose
+// rate follows a sinusoidal "time of day" cycle.
+func DiurnalArrivals(w *Workload, cfg DiurnalConfig, seed int64) ([]float64, error) {
+	return workload.DiurnalArrivals(w.g, cfg, seed)
+}
+
+// TraceArrivals replays a recorded arrival trace (one non-negative,
+// non-decreasing millisecond timestamp per line; '#' comments and blank
+// lines skipped) against the workload. The trace must hold exactly one
+// timestamp per kernel.
+func TraceArrivals(w *Workload, r io.Reader) ([]float64, error) {
+	return workload.TraceArrivals(w.g, r)
+}
+
+// ReadTrace parses a timestamp trace without binding it to a workload;
+// use with TraceStream to shard a long trace into stream windows.
+func ReadTrace(r io.Reader) ([]float64, error) {
+	return workload.ReadTrace(r)
+}
+
+// Arrival-schedule validation reasons reported by ArrivalError.
+const (
+	ArrivalLength      = "length"       // schedule length != kernel count
+	ArrivalNegative    = "negative"     // negative or non-finite time
+	ArrivalNonMonotone = "non-monotone" // time precedes its predecessor
+)
+
+// ArrivalError reports an invalid Options.Arrivals schedule. Run returns
+// it directly; RunBatch and RunStream wrap it in a *ConfigError carrying
+// the config (shard) index, so batch callers can attribute the failure.
+type ArrivalError struct {
+	// Kernel is the offending kernel index, or -1 for a length mismatch.
+	Kernel int
+	// Time is the offending arrival time (0 for a length mismatch).
+	Time float64
+	// Got and Want are the schedule length and the workload kernel count.
+	Got, Want int
+	// Reason is one of ArrivalLength, ArrivalNegative, ArrivalNonMonotone.
+	Reason string
+}
+
+// Error implements error.
+func (e *ArrivalError) Error() string {
+	switch e.Reason {
+	case ArrivalLength:
+		return fmt.Sprintf("apt: %d arrival times for %d kernels", e.Got, e.Want)
+	case ArrivalNegative:
+		return fmt.Sprintf("apt: kernel %d has invalid arrival time %v", e.Kernel, e.Time)
+	default:
+		return fmt.Sprintf("apt: kernel %d arrival time %v precedes its predecessor (arrivals must be non-decreasing in stream order)",
+			e.Kernel, e.Time)
+	}
+}
+
+// validateArrivals checks an arrival schedule against a kernel count. An
+// empty schedule (no pacing) is always valid.
+func validateArrivals(kernels int, arrivals []float64) error {
+	if len(arrivals) == 0 {
+		return nil
+	}
+	if len(arrivals) != kernels {
+		return &ArrivalError{Kernel: -1, Got: len(arrivals), Want: kernels, Reason: ArrivalLength}
+	}
+	prev := 0.0
+	for i, at := range arrivals {
+		if at < 0 || math.IsNaN(at) || math.IsInf(at, 0) {
+			return &ArrivalError{Kernel: i, Time: at, Got: len(arrivals), Want: kernels, Reason: ArrivalNegative}
+		}
+		if at < prev {
+			return &ArrivalError{Kernel: i, Time: at, Got: len(arrivals), Want: kernels, Reason: ArrivalNonMonotone}
+		}
+		prev = at
+	}
+	return nil
+}
+
 // KernelRun describes one kernel's lifecycle in a finished run. Times are
 // milliseconds since the run started.
 type KernelRun struct {
@@ -57,11 +151,16 @@ type KernelRun struct {
 	Name        string
 	Proc        int
 	ProcName    string
+	ArrivalMs   float64
 	ReadyMs     float64
 	ExecStartMs float64
 	FinishMs    float64
 	LambdaMs    float64
 	TransferMs  float64
+	// SojournMs is the open-system latency arrival → finish; QueueWaitMs
+	// is arrival → exec-start (dependency wait, queueing and staging).
+	SojournMs   float64
+	QueueWaitMs float64
 }
 
 // ProcUse is one processor's time accounting.
@@ -89,9 +188,14 @@ type Result struct {
 	LambdaTotalMs float64
 	LambdaAvgMs   float64
 	LambdaStdMs   float64
-	Kernels       []KernelRun
-	Procs         []ProcUse
-	Alt           AltStats
+	// Sojourn is the distribution of per-kernel arrival→finish latency,
+	// QueueWait of arrival→exec-start delay — the open-system view of the
+	// run (under the closed model, arrival is 0 for every kernel).
+	Sojourn   LatencyStats
+	QueueWait LatencyStats
+	Kernels   []KernelRun
+	Procs     []ProcUse
+	Alt       AltStats
 
 	res *sim.Result
 	sys *platform.System

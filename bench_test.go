@@ -11,8 +11,10 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
+	"repro/apt"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/lut"
@@ -67,8 +69,36 @@ func BenchmarkTable16(b *testing.B)   { benchArtifact(b, "table16") }
 
 func BenchmarkExtPolicies(b *testing.B) { benchArtifact(b, "ext-policies") }
 func BenchmarkExtStream(b *testing.B)   { benchArtifact(b, "ext-stream") }
+func BenchmarkExtLatency(b *testing.B)  { benchArtifact(b, "ext-latency") }
 func BenchmarkExtNoise(b *testing.B)    { benchArtifact(b, "ext-noise") }
 func BenchmarkExtBounds(b *testing.B)   { benchArtifact(b, "ext-bounds") }
+
+// BenchmarkStreamRunner times the open-system streaming driver end to
+// end: a 2000-kernel Poisson stream in 500-kernel windows, sharded
+// through the batch worker pool under APT, including shard generation and
+// latency aggregation. It reports the aggregate p99 sojourn as a custom
+// metric so `-bench` output doubles as a latency table.
+func BenchmarkStreamRunner(b *testing.B) {
+	b.ReportAllocs()
+	var p99 float64
+	for i := 0; i < b.N; i++ {
+		shards, err := apt.MakeStream(2000, 500, 1, func(w *apt.Workload, seed int64) ([]float64, error) {
+			return apt.PoissonArrivals(w, 1000, seed)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := apt.RunStream(context.Background(), shards, apt.PaperMachine(4), apt.APT(4), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Kernels != 2000 {
+			b.Fatalf("kernels = %d", res.Kernels)
+		}
+		p99 = res.Sojourn.P99Ms
+	}
+	b.ReportMetric(p99, "p99_sojourn_ms")
+}
 
 // --- Ablation benches -----------------------------------------------------
 //

@@ -3,10 +3,18 @@
 // suite-average makespan and λ per point plus the empirical thresholdbrk
 // (the α minimising average makespan — the bottom of the paper's valley).
 //
+// With -stream it switches to the open-system evaluation the paper never
+// ran: a multi-thousand-kernel arrival stream, sharded into windows and
+// fanned across the batch runner, sweeping arrival rate λ against
+// per-policy sojourn-latency percentiles (p50/p95/p99).
+//
 // Usage:
 //
 //	sweep -type 2 -alphas 1,1.5,2,3,4,6,8,12,16,24,32 -rates 1,4,8,16
 //	sweep -type 1 -policy apt-r    # sweep the future-work variant
+//	sweep -stream -arrival poisson -kernels 5000 -gaps 500,1000,2000
+//	sweep -stream -arrival bursty -gaps 100,200 -burst-len 2000 -idle-len 8000
+//	sweep -stream -arrival trace -trace arrivals.txt
 package main
 
 import (
@@ -19,6 +27,8 @@ import (
 	"strings"
 
 	"repro/apt"
+	"repro/internal/report"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -29,12 +39,199 @@ func main() {
 		polName = flag.String("policy", "apt", "apt or apt-r")
 		seed    = flag.Int64("seed", 20170301, "workload suite seed")
 		sizes   = flag.String("sizes", "46,58,50,73,69,81,125,93,132,157", "kernel counts of the suite graphs")
+
+		stream   = flag.Bool("stream", false, "open-system streaming mode: sweep arrival rate vs latency percentiles")
+		arrival  = flag.String("arrival", "poisson", "streaming arrival shape: poisson, periodic, bursty, diurnal or trace")
+		kernels  = flag.Int("kernels", 5000, "streaming: total kernels in the stream")
+		window   = flag.Int("window", 500, "streaming: kernels per shard window")
+		gaps     = flag.String("gaps", "500,1000,2000,4000", "streaming: mean arrival gaps in ms (the λ sweep axis)")
+		policies = flag.String("policies", "apt,met,spn,olb,heft", "streaming: comma-separated policies to compare")
+		alpha    = flag.Float64("alpha", 4, "streaming: APT flexibility factor")
+		rate     = flag.Float64("rate", 4, "streaming: link rate in GB/s")
+		tracePth = flag.String("trace", "", "streaming: arrival-trace file (one ms timestamp per line) for -arrival trace")
+		burstLen = flag.Float64("burst-len", 2000, "streaming bursty: mean burst duration ms")
+		idleLen  = flag.Float64("idle-len", 8000, "streaming bursty: mean idle duration ms")
+		period   = flag.Float64("period", 60000, "streaming diurnal: rate cycle period ms")
+		amp      = flag.Float64("amp", 0.8, "streaming diurnal: rate amplitude in [0,1)")
+		hist     = flag.Bool("hist", false, "streaming: print a sojourn histogram per policy for the last gap")
 	)
 	flag.Parse()
-	if err := run(*typ, *alphas, *rates, *polName, *seed, *sizes); err != nil {
+	var err error
+	if *stream {
+		err = runStream(streamConfig{
+			arrival: *arrival, kernels: *kernels, window: *window,
+			gapCSV: *gaps, policyCSV: *policies, alpha: *alpha, rate: *rate,
+			seed: *seed, tracePath: *tracePth,
+			burstLen: *burstLen, idleLen: *idleLen, period: *period, amp: *amp,
+			hist: *hist,
+		})
+	} else {
+		err = run(*typ, *alphas, *rates, *polName, *seed, *sizes)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
+}
+
+// streamConfig carries the flags of the open-system streaming mode.
+type streamConfig struct {
+	arrival   string
+	kernels   int
+	window    int
+	gapCSV    string
+	policyCSV string
+	alpha     float64
+	rate      float64
+	seed      int64
+	tracePath string
+	burstLen  float64
+	idleLen   float64
+	period    float64
+	amp       float64
+	hist      bool
+}
+
+// runStream sweeps arrival rate λ against per-policy sojourn-latency
+// percentiles over a sharded open-system stream. Everything is seeded, so
+// reruns print byte-identical results.
+func runStream(cfg streamConfig) error {
+	var pols []apt.Policy
+	for _, name := range strings.Split(cfg.policyCSV, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		p, err := apt.ParsePolicy(name, cfg.alpha, 1)
+		if err != nil {
+			return err
+		}
+		pols = append(pols, p)
+	}
+	if len(pols) == 0 {
+		return fmt.Errorf("no policies given")
+	}
+	m := apt.PaperMachine(cfg.rate)
+
+	gapsMs, err := parseFloats(cfg.gapCSV)
+	if err != nil {
+		return fmt.Errorf("gaps: %w", err)
+	}
+	if cfg.arrival == "trace" {
+		gapsMs = []float64{0} // a trace is one operating point, not a sweep
+	}
+
+	var xLabels []string
+	p99 := map[string][]float64{}
+	var order []string
+	for _, p := range pols {
+		order = append(order, p.Name())
+	}
+	var lastResults []*apt.StreamResult
+	for _, gap := range gapsMs {
+		shards, err := buildShards(cfg, gap)
+		if err != nil {
+			return err
+		}
+		var rows []report.LatencyRow
+		lastResults = lastResults[:0]
+		var offered float64
+		for _, p := range pols {
+			res, err := apt.RunStream(context.Background(), shards, m, p, nil)
+			if err != nil {
+				return fmt.Errorf("policy %s: %w", p.Name(), err)
+			}
+			rows = append(rows, report.LatencyRow{Label: p.Name(), S: summaryOf(res.Sojourn)})
+			p99[p.Name()] = append(p99[p.Name()], res.Sojourn.P99Ms)
+			offered = res.OfferedPerSec
+			lastResults = append(lastResults, res)
+		}
+		label := fmt.Sprintf("%g", gap)
+		title := fmt.Sprintf("sojourn latency, arrival=%s, %d kernels in %d-kernel windows, gap=%g ms (offered λ=%.3f/s)",
+			cfg.arrival, lastResults[0].Kernels, cfg.window, gap, offered)
+		if cfg.arrival == "trace" {
+			label = "trace"
+			title = fmt.Sprintf("sojourn latency, trace %s, %d kernels in %d-kernel windows (offered λ=%.3f/s)",
+				cfg.tracePath, lastResults[0].Kernels, cfg.window, offered)
+		}
+		xLabels = append(xLabels, label)
+		if err := report.LatencyTable(title, rows).Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if len(xLabels) > 1 {
+		fig, err := report.LatencyFigure("p99 sojourn vs arrival gap", "gap ms", "p99 sojourn ms", xLabels, order, p99)
+		if err != nil {
+			return err
+		}
+		if err := fig.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if cfg.hist {
+		for i, p := range pols {
+			h, err := stats.NewHistogram(1.3)
+			if err != nil {
+				return err
+			}
+			for _, s := range lastResults[i].SojournsMs {
+				h.Add(s)
+			}
+			fig := report.HistogramFigure(fmt.Sprintf("%s sojourn distribution (last gap)", p.Name()), "sojourn ms", h)
+			if err := fig.Render(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+// summaryOf mirrors an already-computed public latency summary back into
+// the report layer's type, avoiding a re-sort of the raw samples.
+func summaryOf(ls apt.LatencyStats) stats.Summary {
+	return stats.Summary{
+		Count: ls.Count, Mean: ls.MeanMs, Std: ls.StdMs, Min: ls.MinMs, Max: ls.MaxMs,
+		P50: ls.P50Ms, P90: ls.P90Ms, P95: ls.P95Ms, P99: ls.P99Ms,
+	}
+}
+
+// buildShards constructs the stream's windows for one operating point.
+func buildShards(cfg streamConfig, gapMs float64) ([]apt.StreamShard, error) {
+	if cfg.arrival == "trace" {
+		if cfg.tracePath == "" {
+			return nil, fmt.Errorf("-arrival trace requires -trace FILE")
+		}
+		f, err := os.Open(cfg.tracePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		times, err := apt.ReadTrace(f)
+		if err != nil {
+			return nil, err
+		}
+		return apt.TraceStream(times, cfg.window, cfg.seed)
+	}
+	gen := func(w *apt.Workload, seed int64) ([]float64, error) {
+		switch cfg.arrival {
+		case "poisson":
+			return apt.PoissonArrivals(w, gapMs, seed)
+		case "periodic":
+			return apt.PeriodicArrivals(w, gapMs)
+		case "bursty":
+			return apt.BurstyArrivals(w, apt.BurstyConfig{
+				BurstGapMs: gapMs, BurstMs: cfg.burstLen, IdleMs: cfg.idleLen}, seed)
+		case "diurnal":
+			return apt.DiurnalArrivals(w, apt.DiurnalConfig{
+				MeanGapMs: gapMs, PeriodMs: cfg.period, Amplitude: cfg.amp}, seed)
+		default:
+			return nil, fmt.Errorf("unknown arrival shape %q (known: poisson, periodic, bursty, diurnal, trace)", cfg.arrival)
+		}
+	}
+	return apt.MakeStream(cfg.kernels, cfg.window, cfg.seed, gen)
 }
 
 type point struct {

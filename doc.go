@@ -6,6 +6,16 @@
 // machine under one policy, and apt.RunBatch fans a slice of run configs
 // across a bounded worker pool with per-worker reusable engine state —
 // deterministically, so batch results are identical to sequential runs.
+//
+// Beyond the thesis's closed-batch model, the streaming API evaluates
+// open systems: arrival shapes (apt.PoissonArrivals, apt.BurstyArrivals,
+// apt.DiurnalArrivals, apt.TraceArrivals) pace a stream, every result
+// reports per-kernel sojourn and queueing-delay percentiles
+// (Result.Sojourn, Result.QueueWait), and apt.RunStream shards a
+// long-horizon stream into windows across the same worker pool,
+// aggregating exact latency distributions — see the λ-vs-p99 quickstart
+// in README.md and the `sweep -stream` command.
+//
 // The simulator, policies and paper experiment harness live under
 // repro/internal. The benchmarks in this directory regenerate every table
 // and figure of the thesis's evaluation chapter; see DESIGN.md for the

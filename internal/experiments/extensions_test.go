@@ -11,8 +11,8 @@ import (
 func TestExtIDsDispatch(t *testing.T) {
 	r := NewRunner(Config{})
 	ids := ExtIDs()
-	if len(ids) != 4 {
-		t.Fatalf("extension artifacts = %d, want 4", len(ids))
+	if len(ids) != 5 {
+		t.Fatalf("extension artifacts = %d, want 5", len(ids))
 	}
 	for _, id := range ids {
 		if !strings.HasPrefix(id, "ext-") {
@@ -24,6 +24,28 @@ func TestExtIDsDispatch(t *testing.T) {
 		}
 		if a.Table == nil && a.Figure == nil && a.Text == "" {
 			t.Errorf("%s produced empty artifact", id)
+		}
+	}
+}
+
+func TestExtLatencyRows(t *testing.T) {
+	r := NewRunner(Config{})
+	a, err := r.ExtLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Table.Rows) != len(extLatencyPolicies) {
+		t.Fatalf("rows = %d, want %d", len(a.Table.Rows), len(extLatencyPolicies))
+	}
+	for _, row := range a.Table.Rows {
+		n, _ := strconv.Atoi(row[1])
+		if n != extLatencyKernels {
+			t.Errorf("%s: n = %d, want %d", row[0], n, extLatencyKernels)
+		}
+		p50, _ := strconv.ParseFloat(row[3], 64)
+		p99, _ := strconv.ParseFloat(row[6], 64)
+		if p50 <= 0 || p99 < p50 {
+			t.Errorf("%s: p50 %v, p99 %v not a sane latency pair", row[0], p50, p99)
 		}
 	}
 }

@@ -1,0 +1,58 @@
+package report
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// LatencyRow is one labelled latency distribution for LatencyTable.
+type LatencyRow struct {
+	Label string
+	S     stats.Summary
+}
+
+// latencyHeaders is the column set open-system evaluations report.
+var latencyHeaders = []string{"series", "n", "mean ms", "p50 ms", "p90 ms", "p95 ms", "p99 ms", "max ms"}
+
+// LatencyTable renders per-row latency percentile summaries — the
+// open-system companion to the paper's makespan/λ tables.
+func LatencyTable(title string, rows []LatencyRow) *Table {
+	t := &Table{Title: title, Headers: latencyHeaders}
+	for _, r := range rows {
+		t.MustAddRow(r.Label, fmt.Sprintf("%d", r.S.Count),
+			Ms(r.S.Mean), Ms(r.S.P50), Ms(r.S.P90), Ms(r.S.P95), Ms(r.S.P99), Ms(r.S.Max))
+	}
+	return t
+}
+
+// LatencyFigure builds a figure of one latency percentile across an x
+// axis (typically arrival rate λ), one series per policy — the λ-vs-p99
+// plot of open-system evaluations. ys maps series name to one value per x
+// label; seriesOrder fixes the series order.
+func LatencyFigure(title, xLabel, yLabel string, x []string, seriesOrder []string, ys map[string][]float64) (*Figure, error) {
+	f := &Figure{Title: title, XLabel: xLabel, YLabel: yLabel, X: x}
+	for _, name := range seriesOrder {
+		y, ok := ys[name]
+		if !ok {
+			return nil, fmt.Errorf("report: latency figure misses series %q", name)
+		}
+		if err := f.AddSeries(name, y); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// HistogramFigure renders a latency histogram as a single-series bar
+// figure, one bar per non-empty bucket.
+func HistogramFigure(title, xLabel string, h *stats.Histogram) *Figure {
+	f := &Figure{Title: title, XLabel: xLabel, YLabel: "kernels"}
+	var ys []float64
+	for _, b := range h.Buckets() {
+		f.X = append(f.X, fmt.Sprintf("<%s", Ms(b.Hi)))
+		ys = append(ys, float64(b.Count))
+	}
+	f.MustAddSeries("count", ys)
+	return f
+}

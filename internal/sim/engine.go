@@ -68,6 +68,10 @@ type Options struct {
 type Placement struct {
 	Kernel dfg.KernelID
 	Proc   platform.ProcID
+	// Arrival is when the kernel entered the stream: its Options
+	// .ArrivalTimes entry, or 0 under the thesis's submit-everything-at-
+	// zero model. Open-system latency metrics are measured from here.
+	Arrival float64
 	// Ready is when every dependency had finished (0 for entry kernels).
 	Ready float64
 	// Assign is when the policy committed the kernel to Proc.
@@ -97,6 +101,16 @@ type Placement struct {
 // accumulate the enormous λ totals of the paper's Tables 11–12.
 func (p Placement) Lambda() float64 { return p.Finish - p.Ready - p.BestExecMs }
 
+// Sojourn returns the kernel's open-system latency: the time from entering
+// the stream to finishing execution (arrival → finish). Under the closed
+// model (no arrival pacing) this is simply the completion time.
+func (p Placement) Sojourn() float64 { return p.Finish - p.Arrival }
+
+// QueueWait returns the time from entering the stream to the start of
+// execution proper (arrival → exec-start): dependency wait, queueing on
+// busy processors, scheduling overhead and input staging combined.
+func (p Placement) QueueWait() float64 { return p.ExecStart - p.Arrival }
+
 // ProcStat aggregates one processor's time accounting over a run.
 type ProcStat struct {
 	Proc    platform.ProcID
@@ -122,6 +136,12 @@ type Result struct {
 	Placements []Placement // indexed by kernel ID
 	ProcStats  []ProcStat  // indexed by processor ID
 	Lambda     LambdaStats
+	// Sojourn is the distribution of per-kernel arrival→finish latency;
+	// QueueWait of arrival→exec-start delay. Both are exact (computed over
+	// every kernel) and zero-valued — never ±Inf — for empty runs, so
+	// results always serialize.
+	Sojourn   stats.Summary
+	QueueWait stats.Summary
 	// SelectCalls counts policy invocations; Assignments counts committed
 	// kernels (== number of kernels).
 	SelectCalls int
@@ -390,6 +410,8 @@ type engine struct {
 	placements  []Placement // escapes into Result: fresh per run
 	events      []event     // min-heap ordered by event.before
 	lambdas     []float64
+	sojourns    []float64 // scratch for latency summaries, reused per run
+	qwaits      []float64
 	nFinished   int
 	selectCalls int
 	assignments int
@@ -500,6 +522,7 @@ func (r *Runner) Run(c *Costs, pol Policy, opt Options) (*Result, error) {
 			arrival = opt.ArrivalTimes[id]
 		}
 		if arrival > 0 {
+			e.placements[id].Arrival = arrival
 			e.placements[id].Ready = arrival // provisional; finalised on readiness
 			e.pushEvent(event{at: arrival, kind: evArrival, kernel: dfg.KernelID(id)})
 			continue
@@ -551,6 +574,8 @@ func (e *engine) reset(c, actual *Costs, pol Policy, opt Options) {
 	e.readyHoles = 0
 	e.events = e.events[:0]
 	e.lambdas = e.lambdas[:0]
+	e.sojourns = e.sojourns[:0]
+	e.qwaits = e.qwaits[:0]
 
 	e.readyIdx = grow(e.readyIdx, n)
 	e.readyAt = grow(e.readyAt, n)
@@ -703,6 +728,8 @@ func (e *engine) result() *Result {
 	}
 	var makespan float64
 	lambdas := e.lambdas[:0]
+	sojourns := e.sojourns[:0]
+	qwaits := e.qwaits[:0]
 	for i := range e.placements {
 		pl := &e.placements[i]
 		if pl.Finish > makespan {
@@ -715,8 +742,16 @@ func (e *engine) result() *Result {
 		if l := pl.Lambda(); l > 0 {
 			lambdas = append(lambdas, l)
 		}
+		sojourns = append(sojourns, pl.Sojourn())
+		qwaits = append(qwaits, pl.QueueWait())
 	}
 	e.lambdas = lambdas
+	// SummarizeInPlace sorts the scratch buffers; only the scalar summaries
+	// escape into the Result, so warm runs stay allocation-lean.
+	res.Sojourn = stats.SummarizeInPlace(sojourns)
+	res.QueueWait = stats.SummarizeInPlace(qwaits)
+	e.sojourns = sojourns
+	e.qwaits = qwaits
 	res.MakespanMs = makespan
 	for p := range res.ProcStats {
 		st := &res.ProcStats[p]

@@ -7,15 +7,21 @@ import (
 
 	"repro/internal/dfg"
 	"repro/internal/platform"
+	"repro/internal/stats"
 )
 
-// jsonResult is the stable on-disk representation of a finished run.
+// jsonResult is the stable on-disk representation of a finished run. The
+// latency summaries are plain finite numbers even for empty runs (the
+// Summary zero value), so WriteJSON never meets the ±Inf values
+// encoding/json rejects.
 type jsonResult struct {
 	Policy      string          `json:"policy"`
 	MakespanMs  float64         `json:"makespan_ms"`
 	SelectCalls int             `json:"select_calls"`
 	Assignments int             `json:"assignments"`
 	Lambda      LambdaStats     `json:"lambda"`
+	Sojourn     stats.Summary   `json:"sojourn"`
+	QueueWait   stats.Summary   `json:"queue_wait"`
 	Placements  []jsonPlacement `json:"placements"`
 	ProcStats   []ProcStat      `json:"proc_stats"`
 }
@@ -23,6 +29,7 @@ type jsonResult struct {
 type jsonPlacement struct {
 	Kernel        int     `json:"kernel"`
 	Proc          int     `json:"proc"`
+	Arrival       float64 `json:"arrival_ms"`
 	Ready         float64 `json:"ready_ms"`
 	Assign        float64 `json:"assign_ms"`
 	TransferStart float64 `json:"transfer_start_ms"`
@@ -41,12 +48,15 @@ func (r *Result) WriteJSON(w io.Writer) error {
 		SelectCalls: r.SelectCalls,
 		Assignments: r.Assignments,
 		Lambda:      r.Lambda,
+		Sojourn:     r.Sojourn,
+		QueueWait:   r.QueueWait,
 		ProcStats:   r.ProcStats,
 	}
 	for _, pl := range r.Placements {
 		jr.Placements = append(jr.Placements, jsonPlacement{
 			Kernel:        int(pl.Kernel),
 			Proc:          int(pl.Proc),
+			Arrival:       pl.Arrival,
 			Ready:         pl.Ready,
 			Assign:        pl.Assign,
 			TransferStart: pl.TransferStart,
@@ -73,6 +83,8 @@ func ReadResultJSON(rd io.Reader) (*Result, error) {
 		SelectCalls: jr.SelectCalls,
 		Assignments: jr.Assignments,
 		Lambda:      jr.Lambda,
+		Sojourn:     jr.Sojourn,
+		QueueWait:   jr.QueueWait,
 		ProcStats:   jr.ProcStats,
 	}
 	for i, jp := range jr.Placements {
@@ -82,6 +94,7 @@ func ReadResultJSON(rd io.Reader) (*Result, error) {
 		out.Placements = append(out.Placements, Placement{
 			Kernel:        dfg.KernelID(jp.Kernel),
 			Proc:          platform.ProcID(jp.Proc),
+			Arrival:       jp.Arrival,
 			Ready:         jp.Ready,
 			Assign:        jp.Assign,
 			TransferStart: jp.TransferStart,

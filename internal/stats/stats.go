@@ -19,7 +19,7 @@ func Mean(xs []float64) float64 {
 
 // StdDev returns the population standard deviation (divide by N), matching
 // the thesis's λ standard-deviation definition (Eq. 12). Returns 0 for
-// fewer than one sample.
+// empty input.
 func StdDev(xs []float64) float64 {
 	n := len(xs)
 	if n == 0 {

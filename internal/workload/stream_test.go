@@ -1,7 +1,9 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/dfg"
@@ -71,6 +73,142 @@ func TestPoissonArrivalsZeroGap(t *testing.T) {
 	}
 	if _, err := PoissonArrivals(g, -1, 1); err == nil {
 		t.Error("negative gap accepted")
+	}
+}
+
+func TestBurstyArrivals(t *testing.T) {
+	g := streamGraph(t, 200)
+	cfg := BurstyConfig{BurstGapMs: 2, BurstMs: 50, IdleMs: 500}
+	at, err := BurstyArrivals(g, cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(at) != g.NumKernels() {
+		t.Fatalf("len = %d, want %d", len(at), g.NumKernels())
+	}
+	var maxGap float64
+	for i := 1; i < len(at); i++ {
+		if at[i] < at[i-1] {
+			t.Fatalf("arrivals not monotone at %d", i)
+		}
+		if gap := at[i] - at[i-1]; gap > maxGap {
+			maxGap = gap
+		}
+	}
+	// Burstiness must show: some inter-arrival gap spans an idle period,
+	// far beyond the in-burst mean of 2ms.
+	if maxGap < 50 {
+		t.Errorf("max gap %v, want an idle-period gap >> burst gap 2", maxGap)
+	}
+	// Determinism.
+	again, _ := BurstyArrivals(g, cfg, 11)
+	for i := range at {
+		if at[i] != again[i] {
+			t.Fatalf("not deterministic at %d", i)
+		}
+	}
+	// IdleMs = 0 degenerates to Poisson pacing: still monotone, no error.
+	if _, err := BurstyArrivals(g, BurstyConfig{BurstGapMs: 2, BurstMs: 50}, 1); err != nil {
+		t.Errorf("IdleMs=0 rejected: %v", err)
+	}
+	// Validation.
+	for _, bad := range []BurstyConfig{
+		{BurstGapMs: -1, BurstMs: 50},
+		{BurstGapMs: 2, BurstMs: 0},
+		{BurstGapMs: 2, BurstMs: 50, IdleMs: -1},
+	} {
+		if _, err := BurstyArrivals(g, bad, 1); err == nil {
+			t.Errorf("invalid config %+v accepted", bad)
+		}
+	}
+}
+
+func TestDiurnalArrivals(t *testing.T) {
+	g := streamGraph(t, 400)
+	cfg := DiurnalConfig{MeanGapMs: 10, PeriodMs: 2000, Amplitude: 0.9}
+	at, err := DiurnalArrivals(g, cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(at); i++ {
+		if at[i] < at[i-1] {
+			t.Fatalf("arrivals not monotone at %d", i)
+		}
+	}
+	// The empirical mean gap should sit near MeanGapMs (thinning preserves
+	// the average rate); allow a generous band for 400 samples.
+	mean := at[len(at)-1] / float64(len(at)-1)
+	if mean < 10/3.0 || mean > 30 {
+		t.Errorf("empirical mean gap %v far from 10", mean)
+	}
+	again, _ := DiurnalArrivals(g, cfg, 5)
+	for i := range at {
+		if at[i] != again[i] {
+			t.Fatalf("not deterministic at %d", i)
+		}
+	}
+	for _, bad := range []DiurnalConfig{
+		{MeanGapMs: 0, PeriodMs: 100},
+		{MeanGapMs: 10, PeriodMs: 0},
+		{MeanGapMs: 10, PeriodMs: 100, Amplitude: 1},
+		{MeanGapMs: 10, PeriodMs: 100, Amplitude: -0.1},
+	} {
+		if _, err := DiurnalArrivals(g, bad, 1); err == nil {
+			t.Errorf("invalid config %+v accepted", bad)
+		}
+	}
+}
+
+func TestTraceArrivals(t *testing.T) {
+	g := streamGraph(t, 10)
+	n := g.NumKernels()
+	var sb strings.Builder
+	sb.WriteString("# recorded arrivals\n\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "%g\n", float64(i)*2.5)
+	}
+	at, err := TraceArrivals(g, strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(at) != n || at[1] != 2.5 {
+		t.Fatalf("trace = %v", at)
+	}
+	// Wrong count, negative, non-monotone and garbage each rejected.
+	if _, err := TraceArrivals(g, strings.NewReader("1\n2\n")); err == nil {
+		t.Error("short trace accepted")
+	}
+	if _, err := ReadTrace(strings.NewReader("1\n-2\n")); err == nil {
+		t.Error("negative timestamp accepted")
+	}
+	if _, err := ReadTrace(strings.NewReader("5\n4\n")); err == nil {
+		t.Error("non-monotone trace accepted")
+	}
+	if _, err := ReadTrace(strings.NewReader("5\nbogus\n")); err == nil {
+		t.Error("non-numeric line accepted")
+	}
+}
+
+func TestIndependentStream(t *testing.T) {
+	g, err := Independent(50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumKernels() != 50 {
+		t.Errorf("kernels = %d, want 50", g.NumKernels())
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("edges = %d, want 0 (independent kernels)", g.NumEdges())
+	}
+	again, _ := Independent(50, 3)
+	for i := 0; i < 50; i++ {
+		a, b := g.Kernel(dfg.KernelID(i)), again.Kernel(dfg.KernelID(i))
+		if a.Name != b.Name || a.DataElems != b.DataElems {
+			t.Fatalf("not deterministic at kernel %d", i)
+		}
+	}
+	if _, err := Independent(0, 1); err == nil {
+		t.Error("empty stream accepted")
 	}
 }
 

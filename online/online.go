@@ -224,7 +224,15 @@ func (s *Scheduler) sweepLocked() bool {
 			i++
 			continue
 		}
-		s.pending = append(s.pending[:i], s.pending[i+1:]...)
+		// Remove in place and nil the vacated tail slot: a plain
+		// append(s.pending[:i], s.pending[i+1:]...) keeps the last
+		// *pendingTask pointer alive in the backing array, so under
+		// sustained traffic completed tasks (and the closures their Run
+		// fields capture) would never be collected.
+		last := len(s.pending) - 1
+		copy(s.pending[i:], s.pending[i+1:])
+		s.pending[last] = nil
+		s.pending = s.pending[:last]
 		s.busy[proc] = true
 		if alt {
 			s.stats.AltAssignments++

@@ -278,6 +278,51 @@ func TestRunErrorPropagates(t *testing.T) {
 	}
 }
 
+// TestSweepDoesNotRetainCompletedTasks pins the queue-retention fix:
+// after tasks drain, the pending queue's backing array must hold no
+// *pendingTask pointers in its spare capacity. Before the fix, removal via
+// append(s.pending[:i], s.pending[i+1:]...) left the final pointer alive
+// in the vacated tail slot, so under sustained traffic completed tasks
+// (and their captured closures) stayed reachable indefinitely.
+func TestSweepDoesNotRetainCompletedTasks(t *testing.T) {
+	s := newStarted(t, 1, 1)
+	// Occupy the only processor so subsequent submissions stack up in
+	// the pending queue and grow its backing array.
+	block := make(chan struct{})
+	hold, err := s.Submit(Task{
+		Name:  "hold",
+		EstMs: []float64{1},
+		Run:   func(ctx context.Context, p ProcID) error { <-block; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var handles []*Handle
+	for i := 0; i < 16; i++ {
+		h, err := s.Submit(Task{Name: fmt.Sprintf("q%d", i), EstMs: []float64{1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	close(block)
+	<-hold.Done
+	for _, h := range handles {
+		<-h.Done
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pending) != 0 {
+		t.Fatalf("pending length = %d after drain, want 0", len(s.pending))
+	}
+	spare := s.pending[:cap(s.pending)]
+	for i, pt := range spare {
+		if pt != nil {
+			t.Errorf("backing array slot %d still retains task %q after completion", i, pt.task.Name)
+		}
+	}
+}
+
 func TestFIFOOrderAmongWaiters(t *testing.T) {
 	s := newStarted(t, 1, 4)
 	// Single processor: tasks must complete in submission order.
