@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lut"
+	"repro/internal/perturb"
 	"repro/internal/sim"
 )
 
@@ -131,10 +132,42 @@ func prepareRun(cfg RunConfig) (sim.BatchRun, sim.Policy, error) {
 	if opts.SerialTransfers {
 		mode = sim.TransferSum
 	}
-	costs, err := sim.PrepareCosts(cfg.Workload.g, cfg.Machine.sys, lut.Paper(), sim.CostConfig{
-		ElemBytes: opts.ElemBytes,
-		Mode:      mode,
-	})
+	costCfg := sim.CostConfig{ElemBytes: opts.ElemBytes, Mode: mode}
+	simOpt := sim.Options{
+		SchedOverheadMs: opts.SchedOverheadMs,
+		ArrivalTimes:    opts.Arrivals,
+	}
+
+	// A perturbation splits estimation from reality: the estimate table the
+	// policy decides with, the actual table execution follows, and a
+	// degradation schedule stretching actual durations over time.
+	estTab := lut.Paper()
+	if p := opts.Perturb; p != nil {
+		actualTab, err := p.Noise.internal().Apply(estTab)
+		if err != nil {
+			return sim.BatchRun{}, nil, err
+		}
+		if p.Oracle {
+			// Perfect information: the policy sees the actual table, so no
+			// estimate/actual split remains (degradation still applies).
+			estTab = actualTab
+		} else if actualTab != estTab {
+			actual, err := sim.PrepareCosts(cfg.Workload.g, cfg.Machine.sys, actualTab, costCfg)
+			if err != nil {
+				return sim.BatchRun{}, nil, err
+			}
+			simOpt.ActualCosts = actual
+		}
+		if len(p.Events) > 0 {
+			sched, err := perturb.NewSchedule(internalEvents(p.Events))
+			if err != nil {
+				return sim.BatchRun{}, nil, err
+			}
+			simOpt.Degrade = sched
+		}
+	}
+
+	costs, err := sim.PrepareCosts(cfg.Workload.g, cfg.Machine.sys, estTab, costCfg)
 	if err != nil {
 		return sim.BatchRun{}, nil, err
 	}
@@ -142,14 +175,7 @@ func prepareRun(cfg RunConfig) (sim.BatchRun, sim.Policy, error) {
 	if err != nil {
 		return sim.BatchRun{}, nil, err
 	}
-	return sim.BatchRun{
-		Costs:  costs,
-		Policy: pol,
-		Opt: sim.Options{
-			SchedOverheadMs: opts.SchedOverheadMs,
-			ArrivalTimes:    opts.Arrivals,
-		},
-	}, pol, nil
+	return sim.BatchRun{Costs: costs, Policy: pol, Opt: simOpt}, pol, nil
 }
 
 // assemble converts an engine result into the public Result, mirroring Run.

@@ -36,6 +36,13 @@ type Options struct {
 	// PoissonArrivals or PeriodicArrivals, or supply custom times (one
 	// non-negative entry per kernel).
 	Arrivals []float64
+	// Perturb optionally separates the scheduler's model from the
+	// platform's reality: estimate-error noise on the lookup table the
+	// hardware follows (policies keep deciding with the clean table) and
+	// dynamic platform-degradation events. Nil means exact estimates on a
+	// steady platform — the thesis's model. See Perturbation and
+	// RunRobustness.
+	Perturb *Perturbation
 }
 
 // PoissonArrivals returns a streaming-arrival schedule for the workload:

@@ -1,0 +1,176 @@
+// Command benchgate compares two `go test -bench -benchmem` outputs (the
+// merge-base's and the PR head's) and fails when the head regresses:
+//
+//   - mean ns/op worse than the threshold (default +15%) on any benchmark
+//     present in both files, or
+//   - any increase in mean allocs/op (allocation counts are deterministic,
+//     so any growth is a real regression, not noise).
+//
+// Usage:
+//
+//	benchgate [-ns-threshold 1.15] base.txt head.txt
+//
+// It prints a per-benchmark comparison table (markdown-friendly, suitable
+// for $GITHUB_STEP_SUMMARY) and exits non-zero listing every regression.
+// Benchmarks present in only one file are reported but never fail the
+// gate: new benchmarks have no baseline and deleted ones no head.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics accumulates one benchmark's samples from one file.
+type metrics struct {
+	nsSum    float64
+	nsCount  int
+	allocSum float64
+	allocCnt int
+}
+
+func (m metrics) nsMean() float64 {
+	if m.nsCount == 0 {
+		return 0
+	}
+	return m.nsSum / float64(m.nsCount)
+}
+
+func (m metrics) allocMean() float64 {
+	if m.allocCnt == 0 {
+		return 0
+	}
+	return m.allocSum / float64(m.allocCnt)
+}
+
+// parseBench reads `go test -bench` output: lines of the form
+//
+//	BenchmarkName-8   1000   27600 ns/op   120 B/op   4 allocs/op
+//
+// aggregating repeated -count runs per benchmark name.
+func parseBench(r io.Reader) (map[string]*metrics, error) {
+	out := map[string]*metrics{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		m := out[name]
+		if m == nil {
+			m = &metrics{}
+			out[name] = m
+		}
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: %q: bad value %q: %v", name, fields[i], err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.nsSum += v
+				m.nsCount++
+			case "allocs/op":
+				m.allocSum += v
+				m.allocCnt++
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+func parseFile(path string) (map[string]*metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseBench(f)
+}
+
+// compare returns the human-readable table and the list of regressions.
+func compare(base, head map[string]*metrics, nsThreshold float64) (string, []string) {
+	var names []string
+	for name := range head {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-50s %14s %14s %8s %10s %10s\n",
+		"benchmark", "base ns/op", "head ns/op", "Δns", "base allocs", "head allocs")
+	var regressions []string
+	for _, name := range names {
+		h := head[name]
+		b, ok := base[name]
+		if !ok {
+			fmt.Fprintf(&sb, "%-50s %14s %14.1f %8s %10s %10.1f   (new, not gated)\n",
+				name, "-", h.nsMean(), "-", "-", h.allocMean())
+			continue
+		}
+		delta := 0.0
+		if b.nsMean() > 0 {
+			delta = (h.nsMean() - b.nsMean()) / b.nsMean() * 100
+		}
+		fmt.Fprintf(&sb, "%-50s %14.1f %14.1f %+7.1f%% %10.1f %10.1f\n",
+			name, b.nsMean(), h.nsMean(), delta, b.allocMean(), h.allocMean())
+		if b.nsMean() > 0 && h.nsMean() > b.nsMean()*nsThreshold {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: ns/op %+.1f%% (%.1f -> %.1f, threshold %+.0f%%)",
+				name, delta, b.nsMean(), h.nsMean(), (nsThreshold-1)*100))
+		}
+		if h.allocMean() > b.allocMean() {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: allocs/op %.1f -> %.1f (any increase fails)",
+				name, b.allocMean(), h.allocMean()))
+		}
+	}
+	for name := range base {
+		if _, ok := head[name]; !ok {
+			fmt.Fprintf(&sb, "%-50s   (missing from head, not gated)\n", name)
+		}
+	}
+	return sb.String(), regressions
+}
+
+func main() {
+	nsThreshold := flag.Float64("ns-threshold", 1.15, "fail when head mean ns/op exceeds base × this")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-ns-threshold 1.15] base.txt head.txt")
+		os.Exit(2)
+	}
+	base, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	head, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(head) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmarks found in head file")
+		os.Exit(2)
+	}
+	table, regressions := compare(base, head, *nsThreshold)
+	fmt.Print(table)
+	if len(regressions) > 0 {
+		fmt.Printf("\nFAIL: %d benchmark regression(s):\n", len(regressions))
+		for _, r := range regressions {
+			fmt.Println("  -", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nOK: no benchmark regressions.")
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const baseOut = `
+goos: linux
+BenchmarkRunAPT-8    	    1000	     52200 ns/op	   48000 B/op	    1000 allocs/op
+BenchmarkRunAPT-8    	    1000	     52800 ns/op	   48000 B/op	    1000 allocs/op
+BenchmarkStreamRunner-8  	      10	   900000 ns/op	   12000 B/op	      40 allocs/op
+BenchmarkGone-8      	    1000	      1000 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func parsed(t *testing.T, s string) map[string]*metrics {
+	t.Helper()
+	m, err := parseBench(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseBenchAveragesCounts(t *testing.T) {
+	m := parsed(t, baseOut)
+	apt := m["BenchmarkRunAPT-8"]
+	if apt == nil {
+		t.Fatal("BenchmarkRunAPT-8 not parsed")
+	}
+	if got := apt.nsMean(); got != 52500 {
+		t.Errorf("ns mean = %v, want 52500", got)
+	}
+	if got := apt.allocMean(); got != 1000 {
+		t.Errorf("alloc mean = %v, want 1000", got)
+	}
+	if len(m) != 3 {
+		t.Errorf("parsed %d benchmarks, want 3", len(m))
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	head := `
+BenchmarkRunAPT-8    	    1000	     57000 ns/op	   48000 B/op	    1000 allocs/op
+BenchmarkStreamRunner-8  	      10	   850000 ns/op	   12000 B/op	      40 allocs/op
+BenchmarkNew-8       	    1000	      2000 ns/op	     100 B/op	       5 allocs/op
+`
+	table, regs := compare(parsed(t, baseOut), parsed(t, head), 1.15)
+	if len(regs) != 0 {
+		t.Errorf("unexpected regressions: %v", regs)
+	}
+	for _, want := range []string{"BenchmarkNew-8", "not gated", "BenchmarkGone-8", "missing from head"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestCompareNsRegressionFails(t *testing.T) {
+	head := `
+BenchmarkRunAPT-8    	    1000	     65000 ns/op	   48000 B/op	    1000 allocs/op
+BenchmarkStreamRunner-8  	      10	   900000 ns/op	   12000 B/op	      40 allocs/op
+`
+	_, regs := compare(parsed(t, baseOut), parsed(t, head), 1.15)
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkRunAPT-8") || !strings.Contains(regs[0], "ns/op") {
+		t.Errorf("regressions = %v, want one ns/op regression on BenchmarkRunAPT-8", regs)
+	}
+}
+
+func TestCompareAllocRegressionFails(t *testing.T) {
+	head := `
+BenchmarkRunAPT-8    	    1000	     52000 ns/op	   48000 B/op	    1001 allocs/op
+BenchmarkStreamRunner-8  	      10	   900000 ns/op	   12000 B/op	      40 allocs/op
+`
+	_, regs := compare(parsed(t, baseOut), parsed(t, head), 1.15)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Errorf("regressions = %v, want one allocs/op regression", regs)
+	}
+}

@@ -8,6 +8,12 @@
 // fanned across the batch runner, sweeping arrival rate λ against
 // per-policy sojourn-latency percentiles (p50/p95/p99).
 //
+// With -robust it sweeps estimate-error magnitude × policy: policies keep
+// deciding with the clean lookup table while the simulated hardware follows
+// a perturbed copy (optionally plus platform-degradation events), and every
+// point reports the regret against the perfect-information oracle — "which
+// policy survives bad estimates".
+//
 // Usage:
 //
 //	sweep -type 2 -alphas 1,1.5,2,3,4,6,8,12,16,24,32 -rates 1,4,8,16
@@ -15,12 +21,15 @@
 //	sweep -stream -arrival poisson -kernels 5000 -gaps 500,1000,2000
 //	sweep -stream -arrival bursty -gaps 100,200 -burst-len 2000 -idle-len 8000
 //	sweep -stream -arrival trace -trace arrivals.txt
+//	sweep -robust -noise uniform -fracs 0,0.1,0.3,0.5 -policies apt,met,heft
+//	sweep -robust -noise drift -bias gpu:1.3 -degrade slow:1:2:5000:20000
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -54,24 +63,223 @@ func main() {
 		period   = flag.Float64("period", 60000, "streaming diurnal: rate cycle period ms")
 		amp      = flag.Float64("amp", 0.8, "streaming diurnal: rate amplitude in [0,1)")
 		hist     = flag.Bool("hist", false, "streaming: print a sojourn histogram per policy for the last gap")
+
+		robust  = flag.Bool("robust", false, "robustness mode: sweep estimate-error magnitude vs per-policy regret")
+		noise   = flag.String("noise", "uniform", "robustness: noise model — uniform, lognormal or drift")
+		fracs   = flag.String("fracs", "0,0.1,0.3,0.5", "robustness: noise magnitudes (the sweep axis)")
+		bias    = flag.String("bias", "", "robustness: per-kind estimate bias, e.g. gpu:1.3,cpu:0.9 (actual = estimate × factor)")
+		degrade = flag.String("degrade", "", "robustness: degradation events, e.g. slow:1:2:1000:5000,off:2:8000:9000,link:0:1:4:0:2000")
+		gap     = flag.Float64("gap", 500, "robustness: Poisson arrival mean gap ms (0 = closed submit-at-zero model)")
 	)
 	flag.Parse()
 	var err error
-	if *stream {
-		err = runStream(streamConfig{
+	switch {
+	case *stream:
+		err = runStream(os.Stdout, streamConfig{
 			arrival: *arrival, kernels: *kernels, window: *window,
 			gapCSV: *gaps, policyCSV: *policies, alpha: *alpha, rate: *rate,
 			seed: *seed, tracePath: *tracePth,
 			burstLen: *burstLen, idleLen: *idleLen, period: *period, amp: *amp,
 			hist: *hist,
 		})
-	} else {
-		err = run(*typ, *alphas, *rates, *polName, *seed, *sizes)
+	case *robust:
+		err = runRobust(os.Stdout, robustConfig{
+			typ: *typ, sizeCSV: *sizes, fracCSV: *fracs, policyCSV: *policies,
+			noise: *noise, biasCSV: *bias, degradeCSV: *degrade,
+			alpha: *alpha, rate: *rate, seed: *seed, gapMs: *gap,
+		})
+	default:
+		err = run(os.Stdout, *typ, *alphas, *rates, *polName, *seed, *sizes)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
+}
+
+// robustConfig carries the flags of the robustness mode.
+type robustConfig struct {
+	typ        int
+	sizeCSV    string
+	fracCSV    string
+	policyCSV  string
+	noise      string
+	biasCSV    string
+	degradeCSV string
+	alpha      float64
+	rate       float64
+	seed       int64
+	gapMs      float64
+}
+
+// runRobust sweeps estimate-error magnitude × policy over the workload
+// suite and reports per-policy regret against the perfect-information
+// oracle plus the p99 sojourn tail. Everything is seeded, so reruns print
+// byte-identical results.
+func runRobust(w io.Writer, cfg robustConfig) error {
+	model, err := apt.ParseNoiseModel(cfg.noise)
+	if err != nil {
+		return err
+	}
+	fracsMs, err := parseFloats(cfg.fracCSV)
+	if err != nil {
+		return fmt.Errorf("fracs: %w", err)
+	}
+	pols, err := parsePolicies(cfg.policyCSV, cfg.alpha)
+	if err != nil {
+		return err
+	}
+	biasMap, err := parseBias(cfg.biasCSV)
+	if err != nil {
+		return err
+	}
+	var events []apt.DegradeEvent
+	if cfg.degradeCSV != "" {
+		events, err = apt.ParseDegradeEvents(cfg.degradeCSV)
+		if err != nil {
+			return err
+		}
+	}
+	workloads, err := suiteWorkloads(cfg.typ, cfg.sizeCSV, cfg.seed)
+	if err != nil {
+		return err
+	}
+
+	rcfg := apt.RobustnessConfig{
+		Workloads: workloads,
+		Machine:   apt.PaperMachine(cfg.rate),
+		Policies:  pols,
+		Fracs:     fracsMs,
+		Model:     model,
+		Bias:      biasMap,
+		Events:    events,
+		Seed:      cfg.seed,
+	}
+	if cfg.gapMs > 0 {
+		rcfg.Arrivals = func(wl *apt.Workload, i int) ([]float64, error) {
+			return apt.PoissonArrivals(wl, cfg.gapMs, cfg.seed+int64(i))
+		}
+	}
+	points, err := apt.RunRobustness(context.Background(), rcfg)
+	if err != nil {
+		return err
+	}
+
+	// Points come back frac-major in config order: one regret table per
+	// noise level, then cross-level figures.
+	var xLabels []string
+	regret := map[string][]float64{}
+	p99 := map[string][]float64{}
+	var order []string
+	for _, p := range pols {
+		order = append(order, p.Name())
+	}
+	for i := 0; i < len(points); i += len(pols) {
+		frac := points[i].Frac
+		var rows []report.RegretRow
+		for _, pt := range points[i : i+len(pols)] {
+			rows = append(rows, report.RegretRow{
+				Label:        pt.Policy,
+				MakespanMs:   pt.MakespanMs,
+				OracleMs:     pt.OracleMs,
+				RegretPct:    pt.RegretPct,
+				P99SojournMs: pt.P99SojournMs,
+			})
+			regret[pt.Policy] = append(regret[pt.Policy], pt.RegretPct)
+			p99[pt.Policy] = append(p99[pt.Policy], pt.P99SojournMs)
+		}
+		xLabels = append(xLabels, fmt.Sprintf("%g", frac))
+		title := fmt.Sprintf("robustness, %s noise frac=%g, %d workloads, gap=%g ms", model, frac, len(workloads), cfg.gapMs)
+		if len(events) > 0 {
+			title += fmt.Sprintf(", %d degradation events", len(events))
+		}
+		if err := report.RegretTable(title, rows).Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+
+	if len(xLabels) > 1 {
+		for _, fig := range []struct {
+			title, y string
+			ys       map[string][]float64
+		}{
+			{"regret vs estimate-error magnitude", "regret %", regret},
+			{"p99 sojourn vs estimate-error magnitude", "p99 sojourn ms", p99},
+		} {
+			f, err := report.LatencyFigure(fig.title, "noise frac", fig.y, xLabels, order, fig.ys)
+			if err != nil {
+				return err
+			}
+			if err := f.Render(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+// parsePolicies resolves a comma-separated policy list.
+func parsePolicies(csv string, alpha float64) ([]apt.Policy, error) {
+	var pols []apt.Policy
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		p, err := apt.ParsePolicy(name, alpha, 1)
+		if err != nil {
+			return nil, err
+		}
+		pols = append(pols, p)
+	}
+	if len(pols) == 0 {
+		return nil, fmt.Errorf("no policies given")
+	}
+	return pols, nil
+}
+
+// parseBias parses "gpu:1.3,cpu:0.9" into a per-kind bias map (empty spec
+// -> nil).
+func parseBias(csv string) (map[apt.ProcKind]float64, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, nil
+	}
+	out := map[apt.ProcKind]float64{}
+	for _, item := range strings.Split(csv, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		kv := strings.Split(item, ":")
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("malformed bias %q (want kind:factor)", item)
+		}
+		v, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bias %q: %w", item, err)
+		}
+		out[apt.ProcKind(strings.ToUpper(strings.TrimSpace(kv[0])))] = v
+	}
+	return out, nil
+}
+
+// suiteWorkloads generates the batch suite the makespan sweep also uses.
+func suiteWorkloads(typ int, sizeCSV string, seed int64) ([]*apt.Workload, error) {
+	sizesF, err := parseFloats(sizeCSV)
+	if err != nil {
+		return nil, fmt.Errorf("sizes: %w", err)
+	}
+	var workloads []*apt.Workload
+	for i, sz := range sizesF {
+		w, err := apt.GenerateWorkload(apt.GraphType(typ), int(sz), seed+int64(i)*1_000_003)
+		if err != nil {
+			return nil, err
+		}
+		workloads = append(workloads, w)
+	}
+	return workloads, nil
 }
 
 // streamConfig carries the flags of the open-system streaming mode.
@@ -95,21 +303,10 @@ type streamConfig struct {
 // runStream sweeps arrival rate λ against per-policy sojourn-latency
 // percentiles over a sharded open-system stream. Everything is seeded, so
 // reruns print byte-identical results.
-func runStream(cfg streamConfig) error {
-	var pols []apt.Policy
-	for _, name := range strings.Split(cfg.policyCSV, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
-		}
-		p, err := apt.ParsePolicy(name, cfg.alpha, 1)
-		if err != nil {
-			return err
-		}
-		pols = append(pols, p)
-	}
-	if len(pols) == 0 {
-		return fmt.Errorf("no policies given")
+func runStream(w io.Writer, cfg streamConfig) error {
+	pols, err := parsePolicies(cfg.policyCSV, cfg.alpha)
+	if err != nil {
+		return err
 	}
 	m := apt.PaperMachine(cfg.rate)
 
@@ -155,10 +352,10 @@ func runStream(cfg streamConfig) error {
 				cfg.tracePath, lastResults[0].Kernels, cfg.window, offered)
 		}
 		xLabels = append(xLabels, label)
-		if err := report.LatencyTable(title, rows).Render(os.Stdout); err != nil {
+		if err := report.LatencyTable(title, rows).Render(w); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
 	if len(xLabels) > 1 {
@@ -166,7 +363,7 @@ func runStream(cfg streamConfig) error {
 		if err != nil {
 			return err
 		}
-		if err := fig.Render(os.Stdout); err != nil {
+		if err := fig.Render(w); err != nil {
 			return err
 		}
 	}
@@ -180,10 +377,10 @@ func runStream(cfg streamConfig) error {
 				h.Add(s)
 			}
 			fig := report.HistogramFigure(fmt.Sprintf("%s sojourn distribution (last gap)", p.Name()), "sojourn ms", h)
-			if err := fig.Render(os.Stdout); err != nil {
+			if err := fig.Render(w); err != nil {
 				return err
 			}
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
 	}
 	return nil
@@ -239,7 +436,7 @@ type point struct {
 	makespan, lambda float64
 }
 
-func run(typ int, alphaCSV, rateCSV, polName string, seed int64, sizeCSV string) error {
+func run(w io.Writer, typ int, alphaCSV, rateCSV, polName string, seed int64, sizeCSV string) error {
 	alphas, err := parseFloats(alphaCSV)
 	if err != nil {
 		return fmt.Errorf("alphas: %w", err)
@@ -248,19 +445,11 @@ func run(typ int, alphaCSV, rateCSV, polName string, seed int64, sizeCSV string)
 	if err != nil {
 		return fmt.Errorf("rates: %w", err)
 	}
-	sizesF, err := parseFloats(sizeCSV)
-	if err != nil {
-		return fmt.Errorf("sizes: %w", err)
-	}
 
 	// Pre-generate the suite once; runs share the graphs read-only.
-	var workloads []*apt.Workload
-	for i, sz := range sizesF {
-		w, err := apt.GenerateWorkload(apt.GraphType(typ), int(sz), seed+int64(i)*1_000_003)
-		if err != nil {
-			return err
-		}
-		workloads = append(workloads, w)
+	workloads, err := suiteWorkloads(typ, sizeCSV, seed)
+	if err != nil {
+		return err
 	}
 
 	// Fan the (rate, alpha, workload) grid through the batch runner: one
@@ -301,18 +490,18 @@ func run(typ int, alphaCSV, rateCSV, polName string, seed int64, sizeCSV string)
 		}
 		return points[i].alpha < points[j].alpha
 	})
-	fmt.Printf("%-8s %-8s %-16s %-16s\n", "rate", "alpha", "avg makespan ms", "avg lambda ms")
+	fmt.Fprintf(w, "%-8s %-8s %-16s %-16s\n", "rate", "alpha", "avg makespan ms", "avg lambda ms")
 	bestPerRate := map[float64]point{}
 	for _, p := range points {
-		fmt.Printf("%-8g %-8g %-16.3f %-16.3f\n", p.rate, p.alpha, p.makespan, p.lambda)
+		fmt.Fprintf(w, "%-8g %-8g %-16.3f %-16.3f\n", p.rate, p.alpha, p.makespan, p.lambda)
 		if b, ok := bestPerRate[p.rate]; !ok || p.makespan < b.makespan {
 			bestPerRate[p.rate] = p
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	for _, r := range rates {
 		b := bestPerRate[r]
-		fmt.Printf("thresholdbrk at %g GB/s: α = %g (avg makespan %.3f ms)\n", r, b.alpha, b.makespan)
+		fmt.Fprintf(w, "thresholdbrk at %g GB/s: α = %g (avg makespan %.3f ms)\n", r, b.alpha, b.makespan)
 	}
 	return nil
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Every sweep mode is fully seeded, so rerunning the same configuration
+// must print byte-identical output — the in-process counterpart of the CI
+// determinism gate, which diffs the built binary's output the same way.
+
+func rerunIdentical(t *testing.T, name string, f func(w *bytes.Buffer) error) string {
+	t.Helper()
+	var a, b bytes.Buffer
+	if err := f(&a); err != nil {
+		t.Fatalf("%s first run: %v", name, err)
+	}
+	if err := f(&b); err != nil {
+		t.Fatalf("%s second run: %v", name, err)
+	}
+	if a.Len() == 0 {
+		t.Fatalf("%s produced no output", name)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("%s output differs across reruns of the same seed", name)
+	}
+	return a.String()
+}
+
+func TestBatchModeDeterministic(t *testing.T) {
+	out := rerunIdentical(t, "batch", func(w *bytes.Buffer) error {
+		return run(w, 1, "2,4", "4", "apt", 7, "20,30")
+	})
+	if !strings.Contains(out, "thresholdbrk") {
+		t.Errorf("batch output missing thresholdbrk summary:\n%s", out)
+	}
+}
+
+func TestStreamModeDeterministic(t *testing.T) {
+	out := rerunIdentical(t, "stream", func(w *bytes.Buffer) error {
+		return runStream(w, streamConfig{
+			arrival: "bursty", kernels: 300, window: 100,
+			gapCSV: "200,400", policyCSV: "apt,met", alpha: 4, rate: 4,
+			seed: 7, burstLen: 1000, idleLen: 3000, hist: true,
+		})
+	})
+	if !strings.Contains(out, "p99 sojourn vs arrival gap") {
+		t.Errorf("stream output missing sweep figure:\n%s", out)
+	}
+}
+
+func TestRobustModeDeterministic(t *testing.T) {
+	cfg := robustConfig{
+		typ: 1, sizeCSV: "20,30", fracCSV: "0,0.3", policyCSV: "apt,met",
+		noise: "uniform", biasCSV: "gpu:1.2", degradeCSV: "slow:1:2:100:4000",
+		alpha: 4, rate: 4, seed: 7, gapMs: 50,
+	}
+	out := rerunIdentical(t, "robust", func(w *bytes.Buffer) error {
+		return runRobust(w, cfg)
+	})
+	for _, want := range []string{"Regret %", "regret vs estimate-error magnitude", "p99 sojourn vs estimate-error magnitude"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("robust output missing %q:\n%s", want, out)
+		}
+	}
+	// Zero-noise block still has the degradation applied to both the noisy
+	// and the oracle run, so the table must render +0.00 regret there.
+	if !strings.Contains(out, "+0.00") {
+		t.Errorf("robust output missing zero regret at frac 0:\n%s", out)
+	}
+}
+
+func TestRobustModeRejectsBadFlags(t *testing.T) {
+	var w bytes.Buffer
+	bad := []robustConfig{
+		{typ: 1, sizeCSV: "20", fracCSV: "0", policyCSV: "apt", noise: "gaussian", rate: 4},
+		{typ: 1, sizeCSV: "20", fracCSV: "0", policyCSV: "apt", noise: "uniform", biasCSV: "gpu", rate: 4},
+		{typ: 1, sizeCSV: "20", fracCSV: "0", policyCSV: "apt", noise: "uniform", degradeCSV: "melt:1:2:3", rate: 4},
+		{typ: 1, sizeCSV: "20", fracCSV: "", policyCSV: "apt", noise: "uniform", rate: 4},
+		{typ: 1, sizeCSV: "20", fracCSV: "0", policyCSV: "nope", noise: "uniform", rate: 4},
+	}
+	for i, cfg := range bad {
+		if err := runRobust(&w, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}

@@ -16,6 +16,17 @@
 // aggregating exact latency distributions — see the λ-vs-p99 quickstart
 // in README.md and the `sweep -stream` command.
 //
+// The robustness API drops the thesis's exact-estimate assumption:
+// apt.Options.Perturb injects seeded estimate-error noise (uniform,
+// log-normal, stale-table drift, per-kind bias) and dynamic platform
+// degradation (processor slowdowns and outages, link bandwidth loss) into
+// the engine's actual-time path while policies keep deciding with the
+// clean lookup table. apt.RunRobustness sweeps noise magnitude × policy
+// and reports each policy's regret against the perfect-information oracle
+// — `sweep -robust` runs the same sweep from the command line; interpret
+// regret as the makespan paid purely for deciding on wrong estimates (see
+// README.md's robustness section).
+//
 // The simulator, policies and paper experiment harness live under
 // repro/internal. The benchmarks in this directory regenerate every table
 // and figure of the thesis's evaluation chapter; see DESIGN.md for the

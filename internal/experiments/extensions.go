@@ -19,7 +19,10 @@ import (
 // exposes them behind -ext.
 
 // extArtifactOrder lists the extension artifacts.
-var extArtifactOrder = []string{"ext-policies", "ext-stream", "ext-latency", "ext-noise", "ext-bounds"}
+var extArtifactOrder = []string{
+	"ext-policies", "ext-stream", "ext-latency", "ext-noise", "ext-bounds",
+	"ext-robustness", "ext-robust-p99", "ext-degrade",
+}
 
 // ExtIDs returns the extension artifact IDs.
 func ExtIDs() []string {
@@ -41,6 +44,12 @@ func (r *Runner) extArtifact(id string) (*Artifact, error) {
 		return r.ExtNoise()
 	case "ext-bounds":
 		return r.ExtBounds()
+	case "ext-robustness":
+		return r.ExtRobustness()
+	case "ext-robust-p99":
+		return r.ExtRobustP99()
+	case "ext-degrade":
+		return r.ExtDegrade()
 	default:
 		return nil, fmt.Errorf("experiments: unknown artifact %q (known: %v, extensions: %v)",
 			id, IDs(), ExtIDs())

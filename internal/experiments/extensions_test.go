@@ -11,8 +11,8 @@ import (
 func TestExtIDsDispatch(t *testing.T) {
 	r := NewRunner(Config{})
 	ids := ExtIDs()
-	if len(ids) != 5 {
-		t.Fatalf("extension artifacts = %d, want 5", len(ids))
+	if len(ids) != 8 {
+		t.Fatalf("extension artifacts = %d, want 8", len(ids))
 	}
 	for _, id := range ids {
 		if !strings.HasPrefix(id, "ext-") {

@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/lut"
+	"repro/internal/perturb"
+	"repro/internal/platform"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Robustness extension artifacts: how each policy behaves when its
+// estimates are wrong (ext-robustness, ext-robust-p99) or the platform
+// degrades mid-run (ext-degrade). Policies always decide on the clean
+// Table 14; only the engine's actual-time path is perturbed.
+
+// extRobustFracs are the uniform estimate-error levels swept.
+var extRobustFracs = []float64{0, 0.1, 0.3, 0.5}
+
+// extRobustPolicies are the compared policies.
+var extRobustPolicies = []PolicySpec{
+	{Name: "APT", Alpha: 4}, {Name: "MET"}, {Name: "HEFT"}, {Name: "PEFT"},
+}
+
+// extRobustSeedBase offsets the per-graph noise seeds so every experiment
+// of the suite sees its own noise realisation.
+const extRobustSeedBase = 7_040
+
+// robustCell is one (policy, frac) aggregate over the Type-2 suite.
+type robustCell struct {
+	makespanMs float64 // suite mean, clean estimates vs perturbed reality
+	oracleMs   float64 // suite mean, perfect information
+	regretPct  float64
+	p99Ms      float64 // exact p99 sojourn over every kernel of the suite
+}
+
+// robustSweep runs the noise sweep: for every (frac, policy, graph) two
+// simulations — noisy estimates and the perfect-information oracle on the
+// same perturbed table — fanned through the engine's worker pool. Arrivals
+// are Poisson (mean gap extStreamMeanGapMs) so the p99 sojourn is an
+// open-system tail, not a makespan echo. The sweep is memoised on the
+// Runner; both robustness artifacts share one execution.
+func (r *Runner) robustSweep() (map[string]map[float64]robustCell, error) {
+	r.robustMu.Lock()
+	defer r.robustMu.Unlock()
+	if r.robustCells != nil {
+		return r.robustCells, nil
+	}
+	graphs := r.Graphs(workload.Type2)
+	sys := platform.PaperSystem(paperRate)
+
+	type job struct {
+		spec   PolicySpec
+		frac   float64
+		graph  int
+		oracle bool
+	}
+	var jobs []job
+	for _, frac := range extRobustFracs {
+		for _, spec := range extRobustPolicies {
+			for gi := range graphs {
+				jobs = append(jobs, job{spec, frac, gi, false}, job{spec, frac, gi, true})
+			}
+		}
+	}
+
+	arrivals := make([][]float64, len(graphs))
+	for gi, g := range graphs {
+		a, err := workload.PoissonArrivals(g, extStreamMeanGapMs, int64(1000+gi))
+		if err != nil {
+			return nil, err
+		}
+		arrivals[gi] = a
+	}
+
+	results := make([]*sim.Result, len(jobs))
+	errs := sim.RunPool(context.Background(), len(jobs), 0, func(i int, runner *sim.Runner) error {
+		j := jobs[i]
+		g := graphs[j.graph]
+		noise := perturb.Noise{Frac: j.frac, Seed: extRobustSeedBase + int64(j.graph)}
+		actualTab, err := noise.Apply(lut.Paper())
+		if err != nil {
+			return err
+		}
+		estTab := lut.Paper()
+		if j.oracle {
+			estTab = actualTab
+		}
+		est, err := sim.PrepareCosts(g, sys, estTab, sim.CostConfig{})
+		if err != nil {
+			return err
+		}
+		opt := sim.Options{ArrivalTimes: arrivals[j.graph]}
+		if !j.oracle && actualTab != estTab {
+			actual, err := sim.PrepareCosts(g, sys, actualTab, sim.CostConfig{})
+			if err != nil {
+				return err
+			}
+			opt.ActualCosts = actual
+		}
+		pol, err := r.newPolicy(j.spec)
+		if err != nil {
+			return err
+		}
+		res, err := runner.Run(est, pol, opt)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := map[string]map[float64]robustCell{}
+	idx := 0
+	for _, frac := range extRobustFracs {
+		for _, spec := range extRobustPolicies {
+			var cell robustCell
+			var sojourns []float64
+			for range graphs {
+				noisy, oracle := results[idx], results[idx+1]
+				idx += 2
+				cell.makespanMs += noisy.MakespanMs
+				cell.oracleMs += oracle.MakespanMs
+				for i := range noisy.Placements {
+					sojourns = append(sojourns, noisy.Placements[i].Sojourn())
+				}
+			}
+			n := float64(len(graphs))
+			cell.makespanMs /= n
+			cell.oracleMs /= n
+			if cell.oracleMs > 0 {
+				cell.regretPct = (cell.makespanMs - cell.oracleMs) / cell.oracleMs * 100
+			}
+			sort.Float64s(sojourns)
+			cell.p99Ms = stats.Quantile(sojourns, 0.99)
+			if out[spec.Name] == nil {
+				out[spec.Name] = map[float64]robustCell{}
+			}
+			out[spec.Name][frac] = cell
+		}
+	}
+	r.robustCells = out
+	return out, nil
+}
+
+// ExtRobustness reports per-policy regret against the perfect-information
+// oracle as uniform estimate error grows: the single number that answers
+// "which policy survives bad estimates". Suite: Type-2 graphs with Poisson
+// arrivals (mean gap 500 ms).
+func (r *Runner) ExtRobustness() (*Artifact, error) {
+	cells, err := r.robustSweep()
+	if err != nil {
+		return nil, err
+	}
+	var rows []report.RegretRow
+	for _, frac := range extRobustFracs {
+		for _, spec := range extRobustPolicies {
+			c := cells[spec.Name][frac]
+			rows = append(rows, report.RegretRow{
+				Label:        fmt.Sprintf("%s @ ±%.0f%%", spec.Label(), frac*100),
+				MakespanMs:   c.makespanMs,
+				OracleMs:     c.oracleMs,
+				RegretPct:    c.regretPct,
+				P99SojournMs: c.p99Ms,
+			})
+		}
+	}
+	t := report.RegretTable(
+		"Extension. Regret vs the noise-free oracle under uniform estimate error (Type-2 suite, Poisson gap 500 ms, α=4 for APT).",
+		rows)
+	return &Artifact{ID: "ext-robustness", Caption: "Robustness: regret under estimate error", Table: t}, nil
+}
+
+// ExtRobustP99 plots the p99 sojourn tail against the estimate-error
+// level, per policy — the open-system cost of scheduling on wrong
+// estimates.
+func (r *Runner) ExtRobustP99() (*Artifact, error) {
+	cells, err := r.robustSweep()
+	if err != nil {
+		return nil, err
+	}
+	var x []string
+	ys := map[string][]float64{}
+	var order []string
+	for _, spec := range extRobustPolicies {
+		order = append(order, spec.Label())
+	}
+	for _, frac := range extRobustFracs {
+		x = append(x, fmt.Sprintf("%.0f%%", frac*100))
+		for _, spec := range extRobustPolicies {
+			ys[spec.Label()] = append(ys[spec.Label()], cells[spec.Name][frac].p99Ms)
+		}
+	}
+	fig, err := report.LatencyFigure(
+		"Extension. p99 sojourn vs uniform estimate-error level (Type-2 suite, Poisson gap 500 ms).",
+		"estimate error ±", "p99 sojourn ms", x, order, ys)
+	if err != nil {
+		return nil, err
+	}
+	return &Artifact{ID: "ext-robust-p99", Caption: "p99 sojourn vs estimate error", Figure: fig}, nil
+}
+
+// extDegradeScenarios are the platform-degradation episodes of ExtDegrade.
+// Windows are sized against the Type-2 suite's ~40 s makespans.
+var extDegradeScenarios = []struct {
+	label  string
+	events []perturb.Event
+}{
+	{"GPU 2× slower, whole run", []perturb.Event{
+		{Kind: perturb.ProcSlowdown, Proc: 1, Factor: 2, StartMs: 0, EndMs: 1e9}}},
+	{"GPU offline 10–30 s", []perturb.Event{
+		{Kind: perturb.ProcOffline, Proc: 1, StartMs: 10_000, EndMs: 30_000}}},
+	{"all links 4× slower, whole run", []perturb.Event{
+		{Kind: perturb.LinkSlowdown, From: 0, To: 1, Factor: 4, StartMs: 0, EndMs: 1e9},
+		{Kind: perturb.LinkSlowdown, From: 0, To: 2, Factor: 4, StartMs: 0, EndMs: 1e9},
+		{Kind: perturb.LinkSlowdown, From: 1, To: 2, Factor: 4, StartMs: 0, EndMs: 1e9}}},
+}
+
+// ExtDegrade reports suite-average makespans when the platform degrades
+// mid-run while every policy keeps trusting its static estimates: a
+// processor slowing down, the paper system's GPU dropping out for a 20 s
+// window, and the interconnect losing bandwidth. Cells show the absolute
+// makespan and the relative slowdown vs the steady platform.
+func (r *Runner) ExtDegrade() (*Artifact, error) {
+	graphs := r.Graphs(workload.Type2)
+	sys := platform.PaperSystem(paperRate)
+	specs := extRobustPolicies
+	t := &report.Table{
+		Title:   "Extension. Type-2 avg makespan under platform degradation (α=4 for APT). Policies keep trusting their static estimates.",
+		Headers: append([]string{"Scenario"}, policyLabels(specs)...),
+		Notes: []string{
+			"Cells: avg makespan ms (+slowdown vs steady platform).",
+			"Proc 1 is the paper system's GPU.",
+		},
+	}
+
+	rows := append([]struct {
+		label  string
+		events []perturb.Event
+	}{{label: "steady platform"}}, extDegradeScenarios...)
+	scheds := make([]*perturb.Schedule, len(rows))
+	for i, sc := range rows {
+		if len(sc.events) == 0 {
+			continue
+		}
+		var err error
+		scheds[i], err = perturb.NewSchedule(sc.events)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Costs depend only on the graph: prepare once per graph, then fan the
+	// scenario × policy × graph grid through the engine's worker pool.
+	costs := make([]*sim.Costs, len(graphs))
+	for gi, g := range graphs {
+		c, err := sim.PrepareCosts(g, sys, lut.Paper(), sim.CostConfig{})
+		if err != nil {
+			return nil, err
+		}
+		costs[gi] = c
+	}
+	type job struct {
+		row, spec, graph int
+	}
+	var jobs []job
+	for ri := range rows {
+		for si := range specs {
+			for gi := range graphs {
+				jobs = append(jobs, job{ri, si, gi})
+			}
+		}
+	}
+	makespans := make([]float64, len(jobs))
+	errs := sim.RunPool(context.Background(), len(jobs), 0, func(i int, runner *sim.Runner) error {
+		j := jobs[i]
+		pol, err := r.newPolicy(specs[j.spec])
+		if err != nil {
+			return err
+		}
+		opt := sim.Options{}
+		if scheds[j.row] != nil {
+			opt.Degrade = scheds[j.row]
+		}
+		res, err := runner.Run(costs[j.graph], pol, opt)
+		if err != nil {
+			return fmt.Errorf("%s scenario %q graph %d: %w", specs[j.spec].Name, rows[j.row].label, j.graph+1, err)
+		}
+		makespans[i] = res.MakespanMs
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	baseline := map[string]float64{}
+	idx := 0
+	for ri, sc := range rows {
+		cells := []string{sc.label}
+		for _, spec := range specs {
+			var total float64
+			for range graphs {
+				total += makespans[idx]
+				idx++
+			}
+			avg := total / float64(len(graphs))
+			if ri == 0 {
+				baseline[spec.Name] = avg
+				cells = append(cells, report.Ms(avg))
+			} else {
+				slow := 0.0
+				if b := baseline[spec.Name]; b > 0 {
+					slow = (avg - b) / b * 100
+				}
+				cells = append(cells, fmt.Sprintf("%s (%+.1f%%)", report.Ms(avg), slow))
+			}
+		}
+		t.MustAddRow(cells...)
+	}
+	return &Artifact{ID: "ext-degrade", Caption: "Makespan under platform degradation", Table: t}, nil
+}
+
+// policyLabels renders spec labels for table headers.
+func policyLabels(specs []PolicySpec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Label()
+	}
+	return out
+}

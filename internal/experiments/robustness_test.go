@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtRobustnessZeroNoiseRows(t *testing.T) {
+	r := NewRunner(Config{})
+	a, err := r.ExtRobustness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(extRobustFracs) * len(extRobustPolicies)
+	if len(a.Table.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(a.Table.Rows), wantRows)
+	}
+	// The first block is frac 0: noisy and oracle runs are the same run,
+	// so regret must be exactly zero.
+	for _, row := range a.Table.Rows[:len(extRobustPolicies)] {
+		if !strings.Contains(row[0], "±0%") {
+			t.Fatalf("first rows should be the 0%% block, got %q", row[0])
+		}
+		if row[1] != row[2] {
+			t.Errorf("%s: makespan %s != oracle %s at zero noise", row[0], row[1], row[2])
+		}
+		if row[3] != "+0.00" {
+			t.Errorf("%s: regret %s at zero noise, want +0.00", row[0], row[3])
+		}
+	}
+}
+
+func TestExtDegradeSlowsEveryPolicy(t *testing.T) {
+	r := NewRunner(Config{})
+	a, err := r.ExtDegrade()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Table.Rows) != 1+len(extDegradeScenarios) {
+		t.Fatalf("rows = %d, want %d", len(a.Table.Rows), 1+len(extDegradeScenarios))
+	}
+	// The whole-run GPU slowdown must not speed anything up.
+	for col, cell := range a.Table.Rows[1][1:] {
+		if strings.Contains(cell, "(-") {
+			t.Errorf("policy %s sped up under a GPU slowdown: %s", a.Table.Headers[col+1], cell)
+		}
+	}
+}
+
+func TestExtRobustP99SeriesShape(t *testing.T) {
+	r := NewRunner(Config{})
+	a, err := r.ExtRobustP99()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Figure == nil {
+		t.Fatal("ext-robust-p99 did not produce a figure")
+	}
+}

@@ -94,6 +94,12 @@ type Runner struct {
 	mu     sync.Mutex
 	suites map[workload.GraphType][]*dfg.Graph
 	cache  map[runKey]*Outcome
+
+	// robustCells memoises the robustness noise sweep (robustness.go):
+	// ext-robustness and ext-robust-p99 render different views of the same
+	// hundreds of simulations, so the sweep runs once per Runner.
+	robustMu    sync.Mutex
+	robustCells map[string]map[float64]robustCell
 }
 
 // NewRunner returns a Runner with the given configuration.

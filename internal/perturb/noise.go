@@ -1,0 +1,183 @@
+// Package perturb models the gap between the scheduler's beliefs and the
+// platform's reality: deterministic, seedable estimate-error noise on the
+// lookup table and dynamic platform-degradation events (processors slowing
+// down or going offline, links losing bandwidth) injected into the
+// simulator's actual-time path.
+//
+// Every policy in this repository decides with estimated execution and
+// transfer times; the thesis evaluates the best-case regime where those
+// estimates are exact and the platform never changes. This package supplies
+// the other regimes: a Noise builds the "actual" table the hardware follows
+// while policies keep seeing the clean one (sim.Options.ActualCosts), and a
+// Schedule stretches actual execution and transfer durations over time
+// windows (sim.Options.Degrade). All randomness is seeded and all
+// iteration orders fixed, so identical inputs always produce identical
+// perturbations.
+package perturb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/lut"
+	"repro/internal/platform"
+)
+
+// NoiseModel selects the shape of the multiplicative estimate error.
+type NoiseModel int
+
+const (
+	// NoiseUniform multiplies every table entry by an independent uniform
+	// factor in [1-Frac, 1+Frac]. The zero value: Frac 0 is the identity.
+	NoiseUniform NoiseModel = iota
+	// NoiseLogNormal multiplies every entry by exp(Frac·N(0,1)) — median-1
+	// heavy-tailed error, the classic model for measurement noise on
+	// execution times.
+	NoiseLogNormal
+	// NoiseDrift is stale-estimate drift: a per-kind multiplicative random
+	// walk across table entries (in sorted kernel/size order), each step
+	// exp(Frac·N(0,1)). Errors are correlated — entries measured "later"
+	// have drifted further from the estimates, mimicking a table that aged
+	// between measurement and use.
+	NoiseDrift
+)
+
+// String names the model.
+func (m NoiseModel) String() string {
+	switch m {
+	case NoiseUniform:
+		return "uniform"
+	case NoiseLogNormal:
+		return "lognormal"
+	case NoiseDrift:
+		return "drift"
+	default:
+		return fmt.Sprintf("NoiseModel(%d)", int(m))
+	}
+}
+
+// ParseNoiseModel resolves a model by name: "uniform", "lognormal" or
+// "drift".
+func ParseNoiseModel(s string) (NoiseModel, error) {
+	switch s {
+	case "uniform":
+		return NoiseUniform, nil
+	case "lognormal":
+		return NoiseLogNormal, nil
+	case "drift":
+		return NoiseDrift, nil
+	default:
+		return 0, fmt.Errorf("perturb: unknown noise model %q (known: uniform, lognormal, drift)", s)
+	}
+}
+
+// Noise describes one estimate-error model: what the platform actually does
+// relative to the table the scheduler trusts. Apply builds the actual table
+// from the estimate table; the same Noise always builds the same table.
+type Noise struct {
+	// Model is the error shape; the zero value is NoiseUniform, so the zero
+	// Noise is the identity (Frac 0, no bias).
+	Model NoiseModel
+	// Frac is the error magnitude: the uniform half-width (must be in
+	// [0, 1)), the log-normal sigma, or the drift step sigma (both must be
+	// non-negative and finite). 0 disables the random component.
+	Frac float64
+	// Bias multiplies every actual time of a processor kind by a fixed
+	// factor, independent of Frac: Bias[GPU] = 1.3 means GPU kernels
+	// actually run 30% slower than estimated — "the GPU estimates are 30%
+	// optimistic". Factors must be positive and finite; absent kinds are
+	// unbiased.
+	Bias map[platform.Kind]float64
+	// Seed drives the random draws. Identical (Model, Frac, Bias, Seed)
+	// always perturb identically.
+	Seed int64
+}
+
+// IsZero reports whether the noise is the identity: no random component and
+// no bias. Apply returns its input unchanged for a zero Noise.
+func (n Noise) IsZero() bool { return n.Frac == 0 && len(n.Bias) == 0 }
+
+// Validate checks magnitudes: uniform Frac in [0,1) (actual times must stay
+// positive), log-normal/drift Frac non-negative and finite, bias factors
+// positive and finite.
+func (n Noise) Validate() error {
+	switch n.Model {
+	case NoiseUniform:
+		if n.Frac < 0 || n.Frac >= 1 || math.IsNaN(n.Frac) {
+			return fmt.Errorf("perturb: uniform noise fraction must be in [0,1), got %v", n.Frac)
+		}
+	case NoiseLogNormal, NoiseDrift:
+		if n.Frac < 0 || math.IsNaN(n.Frac) || math.IsInf(n.Frac, 0) {
+			return fmt.Errorf("perturb: %s noise sigma must be non-negative and finite, got %v", n.Model, n.Frac)
+		}
+	default:
+		return fmt.Errorf("perturb: unknown noise model %d", int(n.Model))
+	}
+	for k, b := range n.Bias {
+		if !(b > 0) || math.IsInf(b, 1) {
+			return fmt.Errorf("perturb: bias for kind %s must be positive and finite, got %v", k, b)
+		}
+	}
+	return nil
+}
+
+// Apply returns the actual-time table: a copy of t with every (entry, kind)
+// execution time multiplied by the model's factor and the kind's bias.
+// Entries are visited in sorted (kernel, size) order and kinds in sorted
+// order, so the draw sequence — and therefore the output — is fully
+// determined by the Noise. A zero Noise returns t itself.
+func (n Noise) Apply(t *lut.Table) (*lut.Table, error) {
+	if t == nil {
+		return nil, fmt.Errorf("perturb: Apply requires a table")
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	kinds := t.Kinds()
+	// A bias for a kind the table does not cover would silently never
+	// apply — a typo'd -bias flag reporting unbiased results as biased —
+	// so reject it here, where the table is known.
+	for k := range n.Bias {
+		known := false
+		for _, tk := range kinds {
+			if k == tk {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("perturb: bias names kind %s, which the table does not cover (kinds: %v)", k, kinds)
+		}
+	}
+	if n.IsZero() {
+		return t, nil
+	}
+	r := rand.New(rand.NewSource(n.Seed))
+	entries := t.Entries()
+	walk := make(map[platform.Kind]float64, len(kinds))
+	for i := range entries {
+		for _, k := range kinds {
+			f := 1.0
+			switch n.Model {
+			case NoiseUniform:
+				f = 1 + n.Frac*(2*r.Float64()-1)
+			case NoiseLogNormal:
+				f = math.Exp(n.Frac * r.NormFloat64())
+			case NoiseDrift:
+				w, ok := walk[k]
+				if !ok {
+					w = 1
+				}
+				w *= math.Exp(n.Frac * r.NormFloat64())
+				walk[k] = w
+				f = w
+			}
+			if b, ok := n.Bias[k]; ok {
+				f *= b
+			}
+			entries[i].TimeMs[k] *= f
+		}
+	}
+	return lut.New(entries)
+}

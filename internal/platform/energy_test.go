@@ -41,3 +41,47 @@ func TestEnergyJ(t *testing.T) {
 		t.Errorf("EnergyJ = %v, want 120", got)
 	}
 }
+
+func TestPowerModelZeroPowerProcessors(t *testing.T) {
+	// A zero-draw kind (an accelerator whose power is accounted elsewhere,
+	// or simply ignored) is legal: active 0, idle 0 passes validation and
+	// integrates to exactly zero energy over any schedule.
+	s := PaperSystem(4)
+	pm := PowerModel{
+		ActiveW: map[Kind]float64{CPU: 0, GPU: 0, FPGA: 0},
+		IdleW:   map[Kind]float64{CPU: 0, GPU: 0, FPGA: 0},
+	}
+	if err := pm.Validate(s); err != nil {
+		t.Fatalf("zero-power model rejected: %v", err)
+	}
+	if got := pm.EnergyJ(GPU, 123456, 789); got != 0 {
+		t.Errorf("zero-power EnergyJ = %v, want 0", got)
+	}
+	// Zero idle under positive active is also legal (idle <= active).
+	mixed := PowerModel{
+		ActiveW: map[Kind]float64{CPU: 50, GPU: 50, FPGA: 50},
+		IdleW:   map[Kind]float64{CPU: 0, GPU: 0, FPGA: 0},
+	}
+	if err := mixed.Validate(s); err != nil {
+		t.Fatalf("zero-idle model rejected: %v", err)
+	}
+	if got := mixed.EnergyJ(CPU, 0, 10_000); got != 0 {
+		t.Errorf("idle-only energy at 0 W idle = %v, want 0", got)
+	}
+}
+
+func TestEnergyJEmptySchedule(t *testing.T) {
+	// An empty schedule (no busy, no idle time) consumes nothing under any
+	// model, and a kind the model does not cover contributes zero rather
+	// than NaN — Validate is the layer that rejects missing kinds.
+	pm := DefaultPowerModel()
+	if got := pm.EnergyJ(CPU, 0, 0); got != 0 {
+		t.Errorf("empty schedule EnergyJ = %v, want 0", got)
+	}
+	if got := pm.EnergyJ(Kind("TPU"), 0, 0); got != 0 || math.IsNaN(got) {
+		t.Errorf("unknown kind on empty schedule = %v, want 0", got)
+	}
+	if got := (PowerModel{}).EnergyJ(CPU, 0, 0); got != 0 {
+		t.Errorf("zero-value model on empty schedule = %v, want 0", got)
+	}
+}

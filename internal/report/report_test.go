@@ -94,6 +94,35 @@ func TestFigureSeriesAndCSV(t *testing.T) {
 	}
 }
 
+func TestFigureRenderNegativeValues(t *testing.T) {
+	// Regret figures carry negative values (below the oracle); they must
+	// render without panicking, with an empty bar and a signed number.
+	f := Figure{Title: "regret", X: []string{"0", "0.3"}}
+	f.MustAddSeries("HEFT", []float64{4, -12.6})
+	var txt bytes.Buffer
+	if err := f.Render(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "-12.600") {
+		t.Errorf("render lost the negative point:\n%s", txt.String())
+	}
+}
+
+func TestRegretTable(t *testing.T) {
+	tab := RegretTable("robustness", []RegretRow{
+		{Label: "APT", MakespanMs: 110, OracleMs: 100, RegretPct: 10, P99SojournMs: 400},
+	})
+	var b bytes.Buffer
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Regret %", "APT", "+10.00", "400"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("regret table missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
 func TestGanttAndUtilisation(t *testing.T) {
 	// One-kernel run via a trivial inline policy.
 	b := dfg.NewBuilder()

@@ -1,0 +1,35 @@
+package report
+
+import "fmt"
+
+// RegretRow is one policy's robustness outcome at one noise level:
+// suite-mean makespan under noisy estimates, the perfect-information
+// oracle baseline, the relative regret between them, and the p99 sojourn
+// tail.
+type RegretRow struct {
+	Label        string
+	MakespanMs   float64
+	OracleMs     float64
+	RegretPct    float64
+	P99SojournMs float64
+}
+
+// RegretTable renders a robustness comparison: one row per policy, regret
+// against the noise-free-decision oracle plus the latency tail. Used by the
+// ext-robustness artifact and cmd/sweep -robust.
+func RegretTable(title string, rows []RegretRow) *Table {
+	t := &Table{
+		Title:   title,
+		Headers: []string{"Policy", "Makespan ms", "Oracle ms", "Regret %", "p99 sojourn ms"},
+		Notes: []string{
+			"Makespan: policy decides on clean estimates, hardware follows perturbed times.",
+			"Oracle: same policy given the perturbed times as its estimates (perfect information).",
+			"Regret: (makespan − oracle) / oracle; the price of deciding on wrong estimates.",
+		},
+	}
+	for _, r := range rows {
+		t.MustAddRow(r.Label, Ms(r.MakespanMs), Ms(r.OracleMs),
+			fmt.Sprintf("%+.2f", r.RegretPct), Ms(r.P99SojournMs))
+	}
+	return t
+}

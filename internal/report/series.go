@@ -93,6 +93,13 @@ func (f *Figure) Render(w io.Writer) error {
 			if max > 0 {
 				n = int(s.Y[i] / max * barWidth)
 			}
+			// Negative values (e.g. regret below the oracle) get no bar —
+			// the printed number carries the sign.
+			if n < 0 {
+				n = 0
+			} else if n > barWidth {
+				n = barWidth
+			}
 			fmt.Fprintf(&sb, "  %s  %s %.3f\n", pad(x, xw), strings.Repeat("#", n), s.Y[i])
 		}
 	}

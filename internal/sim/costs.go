@@ -65,6 +65,21 @@ func DefaultCostConfig() CostConfig { return CostConfig{ElemBytes: 4, Mode: Tran
 // validated cost oracle. Every policy and the engine itself consult the
 // same Costs, so all of them price work identically (the paper's policies
 // all share one lookup table).
+//
+// # Estimates versus actuals
+//
+// A run carries up to two Costs with distinct roles. The Costs passed to
+// Run is the estimate oracle: it is handed to Policy.Prepare and exposed
+// through State.Costs/BusyUntil, so it is all a policy ever sees — its
+// model of the platform. Options.ActualCosts, when set, is the actual
+// oracle: the engine times execution and transfers from it (and takes λ's
+// best-exec baseline from it), so it is what the platform really does.
+// When ActualCosts is nil the two coincide and estimates are exact — the
+// thesis's model. The perturb package builds actual tables from estimate
+// tables (noise, bias, drift), and Options.Degrade stretches the actual
+// durations further over time; neither ever leaks into the estimate side,
+// which is what makes robustness runs honest: policies decide on beliefs,
+// reality charges the truth.
 type Costs struct {
 	g    *dfg.Graph
 	sys  *platform.System

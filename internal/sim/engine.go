@@ -61,6 +61,13 @@ type Options struct {
 	// actual costs. This is the repository's extension for studying
 	// robustness to estimation error (see EXPERIMENTS.md).
 	ActualCosts *Costs
+	// Degrade optionally injects dynamic platform degradation — processors
+	// slowing or going offline, links losing bandwidth — into the
+	// actual-time path: execution and transfer durations integrate over the
+	// time-varying speeds it reports. Policies never see it; their
+	// estimates (Costs, BusyUntil) stay nominal, the same split as
+	// ActualCosts. Nil means the platform never degrades.
+	Degrade Degradation
 }
 
 // Placement records the full lifecycle of one kernel in a finished
@@ -536,7 +543,9 @@ func (r *Runner) Run(c *Costs, pol Policy, opt Options) (*Result, error) {
 
 	for e.nFinished < n {
 		e.invokePolicy(st)
-		e.startQueued()
+		if err := e.startQueued(); err != nil {
+			return nil, err
+		}
 		if len(e.events) == 0 {
 			return nil, fmt.Errorf("sim: policy %s deadlocked at t=%v with %d/%d kernels finished (%d ready)",
 				pol.Name(), e.now, e.nFinished, n, e.readyLen())
@@ -670,7 +679,7 @@ func (e *engine) commit(a Assignment) {
 
 // startQueued starts the head of every idle processor's queue whose
 // dependencies have completed.
-func (e *engine) startQueued() {
+func (e *engine) startQueued() error {
 	for p := range e.queues {
 		if e.running[p] >= 0 || e.queues[p].len() == 0 {
 			continue
@@ -680,20 +689,40 @@ func (e *engine) startQueued() {
 			continue // head blocked on dependencies or not yet arrived
 		}
 		e.queues[p].pop()
-		e.start(k, platform.ProcID(p))
+		if err := e.start(k, platform.ProcID(p)); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-func (e *engine) start(k dfg.KernelID, p platform.ProcID) {
+func (e *engine) start(k dfg.KernelID, p platform.ProcID) error {
 	pl := &e.placements[k]
 	pl.TransferStart = e.now + e.opt.SchedOverheadMs
-	xfer := e.actual.TransferIn(k, p, e.placeFn)
-	pl.ExecStart = pl.TransferStart + xfer
-	exec := e.actual.Exec(k, p)
-	pl.Finish = pl.ExecStart + exec
+	if e.opt.Degrade == nil {
+		// Nominal actual-time path: durations come straight from the
+		// actual cost oracle (== the estimates unless ActualCosts split
+		// them).
+		pl.ExecStart = pl.TransferStart + e.actual.TransferIn(k, p, e.placeFn)
+		pl.Finish = pl.ExecStart + e.actual.Exec(k, p)
+	} else {
+		// Degraded path: integrate the same nominal durations over the
+		// time-varying speeds of the degradation schedule.
+		execStart, err := e.transferFinish(k, p, pl.TransferStart)
+		if err != nil {
+			return fmt.Errorf("sim: kernel %d transfer onto proc %d: %w", k, p, err)
+		}
+		pl.ExecStart = execStart
+		finish, err := elapseExec(e.opt.Degrade, p, e.actual.Exec(k, p), execStart)
+		if err != nil {
+			return fmt.Errorf("sim: kernel %d on proc %d: %w", k, p, err)
+		}
+		pl.Finish = finish
+	}
 	e.running[p] = k
 	e.busyUntil[p] = pl.Finish
 	e.pushEvent(event{at: pl.Finish, kernel: k, proc: p})
+	return nil
 }
 
 func (e *engine) complete(ev event) {
@@ -701,7 +730,15 @@ func (e *engine) complete(ev event) {
 	e.finished[k] = true
 	e.nFinished++
 	e.running[p] = -1
-	e.history[p] = append(e.history[p], e.actual.Exec(k, p))
+	// The AG policy's execution history holds observed durations: under
+	// degradation that is the stretched wall time, not the nominal cost
+	// (the nominal path keeps the exact oracle value to avoid float
+	// round-trip noise).
+	obs := e.actual.Exec(k, p)
+	if e.opt.Degrade != nil {
+		obs = e.placements[k].Finish - e.placements[k].ExecStart
+	}
+	e.history[p] = append(e.history[p], obs)
 	for _, s := range e.costs.g.Succs(k) {
 		e.predsLeft[s]--
 		if e.predsLeft[s] == 0 && e.arrived[s] {

@@ -143,6 +143,65 @@ func TestHistogramMergeIsExact(t *testing.T) {
 	}
 }
 
+func TestHistogramMergeDisjointBucketRanges(t *testing.T) {
+	// lo holds sub-millisecond samples, hi holds samples five orders of
+	// magnitude larger: their bucket ranges are fully disjoint, so merging
+	// must extend the receiver's bucket array and keep both populations.
+	lo, _ := NewHistogram(1.3)
+	hi, _ := NewHistogram(1.3)
+	all, _ := NewHistogram(1.3)
+	for i := 1; i <= 100; i++ {
+		x := 0.002 * float64(i) // 0.002 .. 0.2 ms
+		lo.Add(x)
+		all.Add(x)
+	}
+	for i := 1; i <= 100; i++ {
+		x := 1e4 * float64(i) // 1e4 .. 1e6 ms
+		hi.Add(x)
+		all.Add(x)
+	}
+	if err := lo.Merge(hi); err != nil {
+		t.Fatal(err)
+	}
+	if lo.Count() != all.Count() || lo.Sum() != all.Sum() {
+		t.Errorf("merged count/sum %d/%v, want %d/%v", lo.Count(), lo.Sum(), all.Count(), all.Sum())
+	}
+	if lo.Min() != 0.002 || lo.Max() != 1e6 {
+		t.Errorf("merged min/max %v/%v, want 0.002/1e6", lo.Min(), lo.Max())
+	}
+	for _, q := range []float64{0, 0.25, 0.49, 0.51, 0.75, 0.99, 1} {
+		if lo.Quantile(q) != all.Quantile(q) {
+			t.Errorf("Quantile(%v): merged %v != direct-add %v", q, lo.Quantile(q), all.Quantile(q))
+		}
+	}
+	// The median straddles the gap: the p49 estimate stays in the low
+	// population, p51 in the high one.
+	if p := lo.Quantile(0.49); p > 1 {
+		t.Errorf("p49 = %v, expected a low-population value", p)
+	}
+	if p := lo.Quantile(0.51); p < 1e3 {
+		t.Errorf("p51 = %v, expected a high-population value", p)
+	}
+	// Merging the small-range histogram into the large-range one must give
+	// identical quantiles (merge is symmetric in content).
+	hi2, _ := NewHistogram(1.3)
+	for i := 1; i <= 100; i++ {
+		hi2.Add(1e4 * float64(i))
+	}
+	lo2, _ := NewHistogram(1.3)
+	for i := 1; i <= 100; i++ {
+		lo2.Add(0.002 * float64(i))
+	}
+	if err := hi2.Merge(lo2); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if hi2.Quantile(q) != lo.Quantile(q) {
+			t.Errorf("Quantile(%v): hi<-lo %v != lo<-hi %v", q, hi2.Quantile(q), lo.Quantile(q))
+		}
+	}
+}
+
 func TestHistogramEmptyAndEdgeCases(t *testing.T) {
 	if _, err := NewHistogram(1); err == nil {
 		t.Error("growth 1 accepted")
