@@ -1,0 +1,30 @@
+# Development entry points; CI runs the same commands (see
+# .github/workflows/ci.yml).
+
+# Benchmarks recorded into the repository's perf trajectory (ns/op, B/op,
+# allocs/op snapshots that future PRs can gate against). Keep this filter
+# in sync with the bench-regression job's -bench pattern.
+BENCH_FILTER ?= BenchmarkRun|BenchmarkEngineRun|BenchmarkStreamRunner|BenchmarkScale|BenchmarkSweep|BenchmarkBatchSweep
+BENCH_RECORD ?= BENCH_PR4.json
+
+.PHONY: test build vet bench bench-record
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -run '^$$' -bench '$(BENCH_FILTER)' -benchmem ./...
+
+# bench-record refreshes the committed perf snapshot: run it on a quiet
+# machine and commit the updated $(BENCH_RECORD) alongside perf-sensitive
+# changes. Compare against an older record with ci/benchgate after
+# converting, or diff the JSON directly.
+bench-record:
+	go test -run '^$$' -bench '$(BENCH_FILTER)' -benchmem -count 3 -timeout 30m ./... \
+		| go run ./ci/benchrecord -o $(BENCH_RECORD)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/dfg"
 	"repro/internal/lut"
 	"repro/internal/perturb"
 	"repro/internal/sim"
@@ -66,6 +67,16 @@ func (b *BatchError) Unwrap() []error { return b.Errs }
 // engine state between runs, so large batches also allocate far less than
 // repeated Run calls.
 //
+// Workers additionally memoise prepared state across the configs they
+// execute: the cost oracle of a (workload, machine, cost-model) triple, a
+// noise-perturbed lookup table, and the policy instance per policy value.
+// Sweeps that revisit the same graph — α grids, arrival-gap scans,
+// robustness fracs — therefore skip re-deriving cost tables and, for
+// static policies, the whole Prepare phase (HEFT/PEFT plans and OCT tables
+// are pure functions of the cost oracle; see the policy package). Caching
+// never changes results, only wall-clock time: cache keys capture every
+// input the cached artifact depends on.
+//
 // Cancelling the context stops unstarted simulations (in-flight ones
 // complete). Failed or cancelled configs leave a nil entry in the results
 // slice and contribute a *ConfigError to the returned *BatchError;
@@ -78,8 +89,8 @@ func RunBatch(ctx context.Context, configs []RunConfig, opts *BatchOptions) ([]*
 	// validation, result assembly — runs inside the pool, on a per-worker
 	// reusable engine.
 	results := make([]*Result, len(configs))
-	errs := sim.RunPool(ctx, len(configs), opts.Workers, func(i int, runner *sim.Runner) error {
-		res, err := runOne(runner, configs[i])
+	errs := sim.RunPool(ctx, len(configs), opts.Workers, func(i int, w *sim.Worker) error {
+		res, err := runOne(w, configs[i])
 		if err != nil {
 			return err
 		}
@@ -99,13 +110,14 @@ func RunBatch(ctx context.Context, configs []RunConfig, opts *BatchOptions) ([]*
 	return results, nil
 }
 
-// runOne executes one config of a batch on a reusable engine.
-func runOne(runner *sim.Runner, cfg RunConfig) (*Result, error) {
-	run, pol, err := prepareRun(cfg)
+// runOne executes one config of a batch on a worker's reusable engine,
+// sharing prepared state through the worker's memo.
+func runOne(w *sim.Worker, cfg RunConfig) (*Result, error) {
+	run, pol, err := prepareRun(cfg, w)
 	if err != nil {
 		return nil, err
 	}
-	res, err := runner.Run(run.Costs, pol, run.Opt)
+	res, err := w.Runner().Run(run.Costs, pol, run.Opt)
 	if err != nil {
 		return nil, err
 	}
@@ -115,9 +127,49 @@ func runOne(runner *sim.Runner, cfg RunConfig) (*Result, error) {
 	return assemble(res, cfg.Workload, cfg.Machine, pol), nil
 }
 
+// costsMemoKey identifies one prepared cost oracle in a worker's memo. It
+// captures every input PrepareCosts consumes: graph, platform, cost-model
+// config and the exact lookup table (by identity — tables are immutable
+// and lut.Paper returns a singleton).
+type costsMemoKey struct {
+	g   *dfg.Graph
+	m   *Machine
+	cfg sim.CostConfig
+	tab *lut.Table
+}
+
+// tableMemoKey identifies one noise-perturbed lookup table: the base table
+// plus the canonical encoding of the noise that produced it (Apply is
+// deterministic per Noise).
+type tableMemoKey struct {
+	tab   *lut.Table
+	noise string
+}
+
+// policyMemoKey identifies one policy instance per policy value. Reusing
+// the instance across a worker's runs lets static policies hit their
+// Prepare memoisation when the cost oracle repeats too.
+type policyMemoKey struct{ p Policy }
+
+// memoCosts returns the prepared cost oracle for (g, m, tab, cfg), from
+// the worker's memo when one is supplied.
+func memoCosts(w *sim.Worker, g *dfg.Graph, m *Machine, tab *lut.Table, cfg sim.CostConfig) (*sim.Costs, error) {
+	if w == nil {
+		return sim.PrepareCosts(g, m.sys, tab, cfg)
+	}
+	v, err := w.Memo(costsMemoKey{g: g, m: m, cfg: cfg, tab: tab}, func() (any, error) {
+		return sim.PrepareCosts(g, m.sys, tab, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*sim.Costs), nil
+}
+
 // prepareRun turns one RunConfig into an engine-level batch run plus the
-// policy instance (kept so APT allocation stats can be read back).
-func prepareRun(cfg RunConfig) (sim.BatchRun, sim.Policy, error) {
+// policy instance (kept so APT allocation stats can be read back). A
+// non-nil worker supplies the prepared-state memo; Run passes nil.
+func prepareRun(cfg RunConfig, w *sim.Worker) (sim.BatchRun, sim.Policy, error) {
 	if cfg.Workload == nil || cfg.Machine == nil {
 		return sim.BatchRun{}, nil, fmt.Errorf("run requires a workload and a machine")
 	}
@@ -143,7 +195,7 @@ func prepareRun(cfg RunConfig) (sim.BatchRun, sim.Policy, error) {
 	// degradation schedule stretching actual durations over time.
 	estTab := lut.Paper()
 	if p := opts.Perturb; p != nil {
-		actualTab, err := p.Noise.internal().Apply(estTab)
+		actualTab, err := memoNoisyTable(w, estTab, p.Noise)
 		if err != nil {
 			return sim.BatchRun{}, nil, err
 		}
@@ -152,7 +204,7 @@ func prepareRun(cfg RunConfig) (sim.BatchRun, sim.Policy, error) {
 			// estimate/actual split remains (degradation still applies).
 			estTab = actualTab
 		} else if actualTab != estTab {
-			actual, err := sim.PrepareCosts(cfg.Workload.g, cfg.Machine.sys, actualTab, costCfg)
+			actual, err := memoCosts(w, cfg.Workload.g, cfg.Machine, actualTab, costCfg)
 			if err != nil {
 				return sim.BatchRun{}, nil, err
 			}
@@ -167,15 +219,52 @@ func prepareRun(cfg RunConfig) (sim.BatchRun, sim.Policy, error) {
 		}
 	}
 
-	costs, err := sim.PrepareCosts(cfg.Workload.g, cfg.Machine.sys, estTab, costCfg)
+	costs, err := memoCosts(w, cfg.Workload.g, cfg.Machine, estTab, costCfg)
 	if err != nil {
 		return sim.BatchRun{}, nil, err
 	}
-	pol, err := cfg.Policy.instantiate()
+	pol, err := memoPolicy(w, cfg.Policy)
 	if err != nil {
 		return sim.BatchRun{}, nil, err
 	}
 	return sim.BatchRun{Costs: costs, Policy: pol, Opt: simOpt}, pol, nil
+}
+
+// memoNoisyTable returns the actual-time table a Noise produces from tab,
+// from the worker's memo when one is supplied. The identity noise returns
+// tab itself (Apply's contract), keeping the no-perturbation fast path.
+func memoNoisyTable(w *sim.Worker, tab *lut.Table, n Noise) (*lut.Table, error) {
+	if w == nil {
+		return n.internal().Apply(tab)
+	}
+	v, err := w.Memo(tableMemoKey{tab: tab, noise: n.memoKey()}, func() (any, error) {
+		return n.internal().Apply(tab)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*lut.Table), nil
+}
+
+// memoPolicy returns the instantiated policy for p, from the worker's memo
+// when one is supplied. Policies fully re-Prepare per run, so a worker
+// reusing one instance sequentially is exactly as deterministic as fresh
+// instances — but static policies can then reuse their prepared plans.
+func memoPolicy(w *sim.Worker, p Policy) (sim.Policy, error) {
+	if w == nil {
+		return p.instantiate()
+	}
+	v, err := w.Memo(policyMemoKey{p: p}, func() (any, error) {
+		pol, err := p.instantiate()
+		if err != nil {
+			return nil, err
+		}
+		return pol, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(sim.Policy), nil
 }
 
 // assemble converts an engine result into the public Result, mirroring Run.

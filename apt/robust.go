@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/perturb"
 	"repro/internal/platform"
@@ -51,6 +52,23 @@ type Noise struct {
 	// Seed fixes the random draws; the same Noise always perturbs
 	// identically.
 	Seed int64
+}
+
+// memoKey canonically encodes the noise (model, magnitude, seed, sorted
+// bias entries) so worker memos can key the perturbed tables it produces;
+// Apply is deterministic, so equal keys always yield equal tables.
+func (n Noise) memoKey() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d|%g|%d", int(n.Model), n.Frac, n.Seed)
+	kinds := make([]string, 0, len(n.Bias))
+	for k := range n.Bias {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&sb, "|%s=%g", k, n.Bias[ProcKind(k)])
+	}
+	return sb.String()
 }
 
 // internal converts the facade type.

@@ -215,7 +215,7 @@ func Run(w *Workload, m *Machine, p Policy, opts *Options) (*Result, error) {
 	if w == nil || m == nil {
 		return nil, fmt.Errorf("apt: Run requires a workload and a machine")
 	}
-	run, pol, err := prepareRun(RunConfig{Workload: w, Machine: m, Policy: p, Options: opts})
+	run, pol, err := prepareRun(RunConfig{Workload: w, Machine: m, Policy: p, Options: opts}, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,82 @@
+package apt
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// This file is the large-scale workload surface: generators for graphs far
+// beyond the paper's ~150-kernel streams (layered random DAGs and fork-join
+// meshes up to 100k kernels) and machines far beyond its three processors.
+// The generators bound per-kernel fan-in/width, so graph size, edge count
+// and build time all grow linearly in kernel count; see README "Scaling".
+
+// GenerateLayeredWorkload builds a bounded-fan-in layered random DAG of n
+// kernels drawn from the paper's catalog: kernels spread contiguously over
+// `layers` dependency levels and each non-entry kernel depends on at most
+// fanIn distinct kernels of the previous layer. Pass 0 for layers or fanIn
+// to select the defaults (32 layers, fan-in 3). The same seed always
+// yields the same workload; edge count is at most n·fanIn.
+func GenerateLayeredWorkload(n, layers, fanIn int, seed int64) (*Workload, error) {
+	cfg := workload.DefaultScaleLayeredConfig()
+	if layers > 0 {
+		cfg.Layers = layers
+	}
+	if fanIn > 0 {
+		cfg.FanIn = fanIn
+	}
+	series, err := workload.ScaleSeries(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	g, err := workload.BuildScaleLayered(series, cfg, newRand(seed))
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{g: g}, nil
+}
+
+// GenerateForkJoinWorkload builds a fork-join mesh of n kernels drawn from
+// the paper's catalog: repeating stages of one fork kernel feeding `width`
+// parallel kernels, whose outputs join into the next stage's fork. Pass 0
+// for width to select the default (64). The same seed always yields the
+// same workload.
+func GenerateForkJoinWorkload(n, width int, seed int64) (*Workload, error) {
+	cfg := workload.DefaultForkJoinConfig()
+	if width > 0 {
+		cfg.Width = width
+	}
+	series, err := workload.ScaleSeries(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	g, err := workload.BuildForkJoin(series, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{g: g}, nil
+}
+
+// ScaleMachine returns a large fully connected machine: procs processors
+// cycling through the paper's CPU, GPU and FPGA kinds (so the measured
+// lookup table covers every processor), all linked at rateGBps gigabytes
+// per second. ScaleMachine(3, r) is PaperMachine(r); platforms up to a few
+// hundred processors are the intended range.
+func ScaleMachine(procs int, rateGBps float64) (*Machine, error) {
+	if procs <= 0 {
+		return nil, fmt.Errorf("apt: machine needs at least one processor, got %d", procs)
+	}
+	kinds := []platform.Kind{platform.CPU, platform.GPU, platform.FPGA}
+	b := platform.NewBuilder()
+	for i := 0; i < procs; i++ {
+		b.AddProcessor(kinds[i%len(kinds)], "")
+	}
+	b.SetUniformRate(platform.GBps(rateGBps))
+	sys, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{sys: sys}, nil
+}

@@ -1,0 +1,165 @@
+// Command benchrecord converts `go test -bench -benchmem` output into a
+// JSON performance record, so the repository carries an explicit perf
+// trajectory: each PR that touches hot paths refreshes a BENCH_PR<N>.json
+// snapshot (ns/op, B/op, allocs/op per benchmark, averaged over -count
+// repetitions), and later PRs can gate against a recorded baseline instead
+// of only the merge-base build.
+//
+// Usage:
+//
+//	go test -run '^$' -bench <filter> -benchmem -count 3 ./... | benchrecord -o BENCH_PR4.json
+//	benchrecord -o BENCH_PR4.json bench-output.txt
+//
+// The record is deterministic given its input: benchmarks sort by name and
+// floats round to one decimal, so reruns over the same bench output diff
+// cleanly. Compare two records with `ci/benchgate` after converting, or
+// feed the raw outputs to benchgate directly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample accumulates one benchmark's repetitions.
+type sample struct {
+	ns, bytes, allocs    float64
+	nsN, bytesN, allocsN int
+}
+
+// Record is one benchmark's averaged metrics in the JSON output.
+type Record struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Count       int     `json:"count"`
+}
+
+// parse reads `go test -bench` output lines of the form
+//
+//	BenchmarkName-8   1000   27600 ns/op   120 B/op   4 allocs/op
+//
+// aggregating repeated -count runs per benchmark name.
+func parse(r io.Reader) (map[string]*sample, error) {
+	out := map[string]*sample{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		s := out[fields[0]]
+		if s == nil {
+			s = &sample{}
+			out[fields[0]] = s
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchrecord: %q: bad value %q: %v", fields[0], fields[i], err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.ns += v
+				s.nsN++
+			case "B/op":
+				s.bytes += v
+				s.bytesN++
+			case "allocs/op":
+				s.allocs += v
+				s.allocsN++
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// round1 rounds to one decimal so records diff cleanly across reruns.
+func round1(v float64) float64 { return math.Round(v*10) / 10 }
+
+func main() {
+	out := flag.String("o", "", "output JSON path (default stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchrecord [-o out.json] [bench-output.txt]")
+		os.Exit(2)
+	}
+
+	samples, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(samples) == 0 {
+		fmt.Fprintln(os.Stderr, "benchrecord: no benchmarks found in input")
+		os.Exit(2)
+	}
+
+	records := map[string]Record{}
+	for name, s := range samples {
+		if s.nsN == 0 {
+			continue
+		}
+		rec := Record{NsPerOp: round1(s.ns / float64(s.nsN)), Count: s.nsN}
+		if s.bytesN > 0 {
+			rec.BytesPerOp = round1(s.bytes / float64(s.bytesN))
+		}
+		if s.allocsN > 0 {
+			rec.AllocsPerOp = round1(s.allocs / float64(s.allocsN))
+		}
+		records[name] = rec
+	}
+
+	names := make([]string, 0, len(records))
+	for name := range records {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Hand-ordered encoding: encoding/json sorts map keys too, but an
+	// explicit ordered write keeps the record stable if fields grow.
+	var sb strings.Builder
+	sb.WriteString("{\n")
+	for i, name := range names {
+		b, err := json.Marshal(records[name])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(&sb, "  %q: %s", name, b)
+		if i < len(names)-1 {
+			sb.WriteString(",")
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("}\n")
+
+	if *out == "" {
+		fmt.Print(sb.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(sb.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("benchrecord: wrote %d benchmarks to %s\n", len(names), *out)
+}

@@ -23,6 +23,14 @@
 //	sweep -stream -arrival trace -trace arrivals.txt
 //	sweep -robust -noise uniform -fracs 0,0.1,0.3,0.5 -policies apt,met,heft
 //	sweep -robust -noise drift -bias gpu:1.3 -degrade slow:1:2:5000:20000
+//
+// With -scale it sweeps large synthetic graphs (bounded-fan-in layered
+// DAGs or fork-join meshes, up to 100k kernels) × policies on a
+// many-processor machine — the large-graph stress mode behind the
+// BenchmarkScale suite:
+//
+//	sweep -scale -scale-sizes 1000,10000,100000 -policies apt,heft -procs 16 -timing
+//	sweep -scale -shape forkjoin -width 128 -scale-sizes 50000 -procs 64
 package main
 
 import (
@@ -64,6 +72,15 @@ func main() {
 		amp      = flag.Float64("amp", 0.8, "streaming diurnal: rate amplitude in [0,1)")
 		hist     = flag.Bool("hist", false, "streaming: print a sojourn histogram per policy for the last gap")
 
+		scale      = flag.Bool("scale", false, "scale mode: large synthetic graphs × policies on a many-processor machine")
+		scaleShape = flag.String("shape", "layered", "scale: graph family — layered or forkjoin")
+		scaleSizes = flag.String("scale-sizes", "1000,10000", "scale: kernel counts to sweep")
+		procs      = flag.Int("procs", 8, "scale: number of processors (kinds cycle CPU/GPU/FPGA)")
+		layers     = flag.Int("layers", 0, "scale layered: dependency levels (0 = default 32)")
+		fanIn      = flag.Int("fanin", 0, "scale layered: max predecessors per kernel (0 = default 3)")
+		width      = flag.Int("width", 0, "scale forkjoin: parallel kernels per stage (0 = default 64)")
+		timing     = flag.Bool("timing", false, "scale: print wall-clock throughput to stderr")
+
 		robust  = flag.Bool("robust", false, "robustness mode: sweep estimate-error magnitude vs per-policy regret")
 		noise   = flag.String("noise", "uniform", "robustness: noise model — uniform, lognormal or drift")
 		fracs   = flag.String("fracs", "0,0.1,0.3,0.5", "robustness: noise magnitudes (the sweep axis)")
@@ -81,6 +98,12 @@ func main() {
 			seed: *seed, tracePath: *tracePth,
 			burstLen: *burstLen, idleLen: *idleLen, period: *period, amp: *amp,
 			hist: *hist,
+		})
+	case *scale:
+		err = runScale(os.Stdout, scaleConfig{
+			shape: *scaleShape, sizeCSV: *scaleSizes, policyCSV: *policies,
+			procs: *procs, layers: *layers, fanIn: *fanIn, width: *width,
+			alpha: *alpha, rate: *rate, seed: *seed, timing: *timing,
 		})
 	case *robust:
 		err = runRobust(os.Stdout, robustConfig{

@@ -86,3 +86,24 @@ func TestRobustModeRejectsBadFlags(t *testing.T) {
 		}
 	}
 }
+
+func TestScaleModeDeterministic(t *testing.T) {
+	out := rerunIdentical(t, "scale", func(w *bytes.Buffer) error {
+		return runScale(w, scaleConfig{
+			shape: "layered", sizeCSV: "500,1000", policyCSV: "apt,heft",
+			procs: 6, alpha: 4, rate: 4, seed: 7,
+		})
+	})
+	if !strings.Contains(out, "scale sweep") || !strings.Contains(out, "HEFT") {
+		t.Errorf("scale output missing table:\n%s", out)
+	}
+	outFJ := rerunIdentical(t, "scale-forkjoin", func(w *bytes.Buffer) error {
+		return runScale(w, scaleConfig{
+			shape: "forkjoin", sizeCSV: "500", policyCSV: "apt", procs: 6,
+			alpha: 4, rate: 4, seed: 7, width: 32,
+		})
+	})
+	if !strings.Contains(outFJ, "forkjoin") {
+		t.Errorf("fork-join scale output missing header:\n%s", outFJ)
+	}
+}

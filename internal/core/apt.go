@@ -96,7 +96,15 @@ func (a *APT) Prepare(c *sim.Costs) error {
 		return fmt.Errorf("core: APT flexibility factor α must be >= 1, got %v", a.Alpha)
 	}
 	a.c = c
-	a.stats = AltStats{ByKernel: map[string]int{}}
+	// Reuse the per-kernel map across Prepare calls so re-running a pooled
+	// policy instance does not allocate; Stats() hands out copies.
+	byKernel := a.stats.ByKernel
+	if byKernel == nil {
+		byKernel = map[string]int{}
+	} else {
+		clear(byKernel)
+	}
+	a.stats = AltStats{ByKernel: byKernel}
 	return nil
 }
 

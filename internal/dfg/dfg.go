@@ -4,12 +4,18 @@
 //
 // Graphs are built with a Builder and immutable afterwards, which lets the
 // simulator and the policies share one graph across goroutine-parallel
-// experiment sweeps without copying.
+// experiment sweeps without copying. Adjacency is stored in compressed
+// sparse row (CSR) form — one flat edge array plus per-vertex offsets for
+// successors and one for predecessors — so graphs with hundreds of
+// thousands of kernels stay cache-contiguous and cost two allocations per
+// direction instead of one per vertex.
 package dfg
 
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/heaps"
 )
 
 // KernelID identifies a kernel within one Graph. IDs are dense from 0 in
@@ -41,11 +47,24 @@ type Kernel struct {
 }
 
 // Graph is an immutable DAG of kernels.
+//
+// Adjacency lives in two CSR halves: the successors of kernel id are
+// succEdges[succOff[id]:succOff[id+1]] and its predecessors the analogous
+// predEdges range. Both per-vertex ranges are sorted ascending by kernel
+// ID, which makes HasEdge a binary search and every traversal order
+// deterministic. Offsets are int32, which caps a single graph at 2^31-1
+// edges — far beyond the 100k-kernel workloads the generators produce.
 type Graph struct {
-	kernels []Kernel
-	succs   [][]KernelID
-	preds   [][]KernelID
-	edges   int
+	kernels   []Kernel
+	succOff   []int32
+	predOff   []int32
+	succEdges []KernelID
+	predEdges []KernelID
+	// topo caches the deterministic topological order (ascending IDs among
+	// simultaneously-ready vertices); it is computed once at Build and
+	// shared read-only by TopoOrder, Levels and CriticalPath.
+	topo  []KernelID
+	edges int
 }
 
 // NumKernels returns the number of vertices.
@@ -67,79 +86,135 @@ func (g *Graph) Kernel(id KernelID) Kernel {
 // be modified.
 func (g *Graph) Kernels() []Kernel { return g.kernels }
 
-// Succs returns the successors of id; shared slice, do not modify.
-func (g *Graph) Succs(id KernelID) []KernelID { return g.succs[id] }
+// Succs returns the successors of id in ascending ID order; the slice
+// aliases the graph's CSR storage, do not modify.
+func (g *Graph) Succs(id KernelID) []KernelID {
+	return g.succEdges[g.succOff[id]:g.succOff[id+1]]
+}
 
-// Preds returns the predecessors of id; shared slice, do not modify.
-func (g *Graph) Preds(id KernelID) []KernelID { return g.preds[id] }
+// Preds returns the predecessors of id in ascending ID order; the slice
+// aliases the graph's CSR storage, do not modify.
+func (g *Graph) Preds(id KernelID) []KernelID {
+	return g.predEdges[g.predOff[id]:g.predOff[id+1]]
+}
 
 // InDegree returns the number of dependencies of id.
-func (g *Graph) InDegree(id KernelID) int { return len(g.preds[id]) }
+func (g *Graph) InDegree(id KernelID) int { return int(g.predOff[id+1] - g.predOff[id]) }
 
 // OutDegree returns the number of dependents of id.
-func (g *Graph) OutDegree(id KernelID) int { return len(g.succs[id]) }
+func (g *Graph) OutDegree(id KernelID) int { return int(g.succOff[id+1] - g.succOff[id]) }
 
-// Entries returns all kernels with no predecessors, in ID order.
+// Entries returns all kernels with no predecessors, in ID order. The slice
+// is fresh and exactly sized; allocation-sensitive callers should prefer
+// AppendEntries with a reused buffer.
 func (g *Graph) Entries() []KernelID {
-	var out []KernelID
+	count := 0
 	for id := range g.kernels {
-		if len(g.preds[id]) == 0 {
-			out = append(out, KernelID(id))
+		if g.InDegree(KernelID(id)) == 0 {
+			count++
 		}
 	}
-	return out
+	return g.AppendEntries(make([]KernelID, 0, count))
 }
 
-// Exits returns all kernels with no successors, in ID order.
+// AppendEntries appends the entry kernels (no predecessors, ID order) to
+// buf and returns the extended slice. Passing a reused buf[:0] makes the
+// query allocation-free.
+func (g *Graph) AppendEntries(buf []KernelID) []KernelID {
+	for id := range g.kernels {
+		if g.InDegree(KernelID(id)) == 0 {
+			buf = append(buf, KernelID(id))
+		}
+	}
+	return buf
+}
+
+// Exits returns all kernels with no successors, in ID order. The slice is
+// fresh and exactly sized; allocation-sensitive callers should prefer
+// AppendExits with a reused buffer.
 func (g *Graph) Exits() []KernelID {
-	var out []KernelID
+	count := 0
 	for id := range g.kernels {
-		if len(g.succs[id]) == 0 {
-			out = append(out, KernelID(id))
+		if g.OutDegree(KernelID(id)) == 0 {
+			count++
 		}
 	}
-	return out
+	return g.AppendExits(make([]KernelID, 0, count))
 }
 
-// HasEdge reports whether the dependency u -> v exists.
-func (g *Graph) HasEdge(u, v KernelID) bool {
-	for _, s := range g.succs[u] {
-		if s == v {
-			return true
+// AppendExits appends the exit kernels (no successors, ID order) to buf and
+// returns the extended slice.
+func (g *Graph) AppendExits(buf []KernelID) []KernelID {
+	for id := range g.kernels {
+		if g.OutDegree(KernelID(id)) == 0 {
+			buf = append(buf, KernelID(id))
 		}
 	}
-	return false
+	return buf
+}
+
+// HasEdge reports whether the dependency u -> v exists. The CSR successor
+// ranges are sorted, so this is a binary search: O(log out-degree).
+func (g *Graph) HasEdge(u, v KernelID) bool {
+	s := g.Succs(u)
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == v
 }
 
 // TopoOrder returns a deterministic topological order: among ready
-// vertices, smaller IDs first (Kahn's algorithm with an ordered frontier).
-// The graph is acyclic by construction, so this never fails.
+// vertices, smaller IDs first (Kahn's algorithm with a min-heap frontier,
+// O(E log V)). The graph is acyclic by construction, so this never fails.
+// The order is computed once at Build; TopoOrder returns a fresh copy.
 func (g *Graph) TopoOrder() []KernelID {
-	n := len(g.kernels)
-	indeg := make([]int, n)
-	for id := range g.kernels {
-		indeg[id] = len(g.preds[id])
+	return append(make([]KernelID, 0, len(g.topo)), g.topo...)
+}
+
+// AppendTopoOrder appends the deterministic topological order to buf and
+// returns the extended slice; with a reused buffer the query is
+// allocation-free.
+func (g *Graph) AppendTopoOrder(buf []KernelID) []KernelID {
+	return append(buf, g.topo...)
+}
+
+// kahnTopo computes the deterministic topological order of the CSR graph:
+// Kahn's algorithm with a binary min-heap frontier, so among ready
+// vertices the smallest ID is always emitted first in O(E log V) total.
+// It returns fewer than n vertices iff the edge set contains a cycle.
+func kahnTopo(n int, succOff []int32, succEdges []KernelID, predOff []int32) []KernelID {
+	lessID := func(a, b KernelID) bool { return a < b }
+	indeg := make([]int32, n)
+	for id := 0; id < n; id++ {
+		indeg[id] = predOff[id+1] - predOff[id]
 	}
-	// frontier kept sorted ascending; n is small (hundreds) so an O(n^2)
-	// ordered insert is fine and keeps the order deterministic.
-	var frontier []KernelID
+	// frontier is a binary min-heap of ready kernel IDs.
+	frontier := make([]KernelID, 0, n)
 	for id := 0; id < n; id++ {
 		if indeg[id] == 0 {
 			frontier = append(frontier, KernelID(id))
+			heaps.Up(frontier, len(frontier)-1, lessID)
 		}
 	}
 	order := make([]KernelID, 0, n)
 	for len(frontier) > 0 {
 		u := frontier[0]
-		frontier = frontier[1:]
+		last := len(frontier) - 1
+		frontier[0] = frontier[last]
+		frontier = frontier[:last]
+		heaps.Down(frontier, 0, lessID)
 		order = append(order, u)
-		for _, v := range g.succs[u] {
+		for _, v := range succEdges[succOff[u]:succOff[u+1]] {
 			indeg[v]--
 			if indeg[v] == 0 {
-				i := sort.Search(len(frontier), func(i int) bool { return frontier[i] >= v })
-				frontier = append(frontier, 0)
-				copy(frontier[i+1:], frontier[i:])
-				frontier[i] = v
+				frontier = append(frontier, v)
+				heaps.Up(frontier, len(frontier)-1, lessID)
 			}
 		}
 	}
@@ -153,9 +228,9 @@ func (g *Graph) TopoOrder() []KernelID {
 func (g *Graph) Levels() [][]KernelID {
 	level := make([]int, len(g.kernels))
 	maxLevel := 0
-	for _, id := range g.TopoOrder() {
+	for _, id := range g.topo {
 		l := 0
-		for _, p := range g.preds[id] {
+		for _, p := range g.Preds(id) {
 			if level[p]+1 > l {
 				l = level[p] + 1
 			}
@@ -165,7 +240,14 @@ func (g *Graph) Levels() [][]KernelID {
 			maxLevel = l
 		}
 	}
+	counts := make([]int, maxLevel+1)
+	for id := range g.kernels {
+		counts[level[id]]++
+	}
 	out := make([][]KernelID, maxLevel+1)
+	for l := range out {
+		out[l] = make([]KernelID, 0, counts[l])
+	}
 	for id := range g.kernels {
 		out[level[id]] = append(out[level[id]], KernelID(id))
 	}
@@ -186,13 +268,12 @@ func (g *Graph) CriticalPath(weight func(Kernel) float64) (float64, []KernelID) 
 	for i := range next {
 		next[i] = -1
 	}
-	order := g.TopoOrder()
 	// Walk in reverse topological order computing the longest tail.
 	for i := n - 1; i >= 0; i-- {
-		id := order[i]
+		id := g.topo[i]
 		w := weight(g.kernels[id])
 		best := 0.0
-		for _, s := range g.succs[id] {
+		for _, s := range g.Succs(id) {
 			if dist[s] > best {
 				best = dist[s]
 				next[id] = s
@@ -223,9 +304,9 @@ func (g *Graph) TotalWeight(weight func(Kernel) float64) float64 {
 	return sum
 }
 
-// Validate re-checks structural invariants (acyclic, consistent adjacency).
-// Builders guarantee these already; Validate exists for graphs decoded from
-// external sources and for property tests.
+// Validate re-checks structural invariants (acyclic, consistent CSR
+// adjacency). Builders guarantee these already; Validate exists for graphs
+// decoded from external sources and for property tests.
 func (g *Graph) Validate() error {
 	n := len(g.kernels)
 	for id, k := range g.kernels {
@@ -242,13 +323,20 @@ func (g *Graph) Validate() error {
 			return fmt.Errorf("dfg: kernel %d has non-positive output size %d", id, k.OutElems)
 		}
 	}
-	for u := range g.succs {
-		for _, v := range g.succs[u] {
+	if len(g.succOff) != n+1 || len(g.predOff) != n+1 {
+		return fmt.Errorf("dfg: CSR offsets sized %d/%d for %d kernels", len(g.succOff), len(g.predOff), n)
+	}
+	for u := 0; u < n; u++ {
+		succs := g.Succs(KernelID(u))
+		for i, v := range succs {
 			if v < 0 || int(v) >= n {
 				return fmt.Errorf("dfg: edge %d->%d out of range", u, v)
 			}
+			if i > 0 && succs[i-1] >= v {
+				return fmt.Errorf("dfg: successors of %d not sorted/unique at %d", u, v)
+			}
 			found := false
-			for _, p := range g.preds[v] {
+			for _, p := range g.Preds(v) {
 				if int(p) == u {
 					found = true
 					break
@@ -259,26 +347,29 @@ func (g *Graph) Validate() error {
 			}
 		}
 	}
-	if len(g.TopoOrder()) != n {
+	if len(kahnTopo(n, g.succOff, g.succEdges, g.predOff)) != n {
 		return fmt.Errorf("dfg: graph contains a cycle")
 	}
 	return nil
 }
 
 // Builder accumulates kernels and edges and produces an immutable Graph.
+// Edges are buffered as a flat list and deduplicated in one pass at Build,
+// so building dense graphs costs no per-edge map entries.
 type Builder struct {
 	kernels []Kernel
-	succs   [][]KernelID
-	preds   [][]KernelID
-	edges   int
-	edgeSet map[[2]KernelID]bool
-	err     error
+	edges   []edgePair
+	// predCount tracks dependencies recorded per kernel. Duplicate AddEdge
+	// calls are only squeezed out at Build, so the count may transiently
+	// include duplicates; callers only rely on its zero-ness.
+	predCount []int32
+	err       error
 }
 
+type edgePair struct{ from, to KernelID }
+
 // NewBuilder returns an empty graph builder.
-func NewBuilder() *Builder {
-	return &Builder{edgeSet: map[[2]KernelID]bool{}}
-}
+func NewBuilder() *Builder { return &Builder{} }
 
 // AddKernel appends a kernel and returns its ID. If k.OutElems is zero it
 // defaults to k.DataElems. The ID and Dwarf fields of the argument are
@@ -297,15 +388,14 @@ func (b *Builder) AddKernel(k Kernel) KernelID {
 		b.fail(fmt.Errorf("dfg: kernel %d (%s) has non-positive data size %d", id, k.Name, k.DataElems))
 	}
 	b.kernels = append(b.kernels, k)
-	b.succs = append(b.succs, nil)
-	b.preds = append(b.preds, nil)
+	b.predCount = append(b.predCount, 0)
 	return id
 }
 
 // AddEdge records the dependency from -> to (to consumes from's output).
-// Duplicate edges are ignored; self edges and forward references to
-// not-yet-added kernels are errors, as are edges that would create a cycle
-// (detected at Build).
+// Duplicate edges are ignored (deduplicated at Build); self edges and
+// forward references to not-yet-added kernels are errors, as are edges
+// that would create a cycle (detected at Build).
 func (b *Builder) AddEdge(from, to KernelID) *Builder {
 	n := KernelID(len(b.kernels))
 	if from < 0 || from >= n || to < 0 || to >= n {
@@ -316,14 +406,8 @@ func (b *Builder) AddEdge(from, to KernelID) *Builder {
 		b.fail(fmt.Errorf("dfg: self edge on kernel %d", from))
 		return b
 	}
-	key := [2]KernelID{from, to}
-	if b.edgeSet[key] {
-		return b
-	}
-	b.edgeSet[key] = true
-	b.succs[from] = append(b.succs[from], to)
-	b.preds[to] = append(b.preds[to], from)
-	b.edges++
+	b.edges = append(b.edges, edgePair{from, to})
+	b.predCount[to]++
 	return b
 }
 
@@ -338,20 +422,77 @@ func (b *Builder) NumKernels() int { return len(b.kernels) }
 
 // InDegree returns the number of dependencies recorded so far for id, or
 // 0 for out-of-range IDs. Useful for composing subgraphs incrementally.
+// Duplicate AddEdge calls inflate the count until Build deduplicates; the
+// zero/non-zero distinction is always exact.
 func (b *Builder) InDegree(id KernelID) int {
-	if id < 0 || int(id) >= len(b.preds) {
+	if id < 0 || int(id) >= len(b.predCount) {
 		return 0
 	}
-	return len(b.preds[id])
+	return int(b.predCount[id])
 }
 
-// Build finalises the graph, verifying acyclicity.
+// Build finalises the graph: edges are sorted and deduplicated, both CSR
+// halves are laid out, and acyclicity is verified.
 func (b *Builder) Build() (*Graph, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
-	g := &Graph{kernels: b.kernels, succs: b.succs, preds: b.preds, edges: b.edges}
-	if len(g.TopoOrder()) != len(g.kernels) {
+	n := len(b.kernels)
+
+	// Sort the edge buffer by (from, to) and squeeze out duplicates in
+	// place. Sorting up front means both CSR halves come out with sorted
+	// per-vertex ranges for free.
+	edges := b.edges
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	dedup := edges[:0]
+	for i, e := range edges {
+		if i > 0 && e == edges[i-1] {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+
+	g := &Graph{
+		kernels: b.kernels,
+		succOff: make([]int32, n+1),
+		predOff: make([]int32, n+1),
+		edges:   len(dedup),
+	}
+	if len(dedup) > 0 {
+		flat := make([]KernelID, 2*len(dedup))
+		g.succEdges = flat[:len(dedup):len(dedup)]
+		g.predEdges = flat[len(dedup):]
+	}
+
+	// Successor CSR: edges are (from, to)-sorted, so buckets fill in order.
+	for _, e := range dedup {
+		g.succOff[e.from+1]++
+		g.predOff[e.to+1]++
+	}
+	for id := 0; id < n; id++ {
+		g.succOff[id+1] += g.succOff[id]
+		g.predOff[id+1] += g.predOff[id]
+	}
+	fill := make([]int32, n)
+	for _, e := range dedup {
+		g.succEdges[g.succOff[e.from]+fill[e.from]] = e.to
+		fill[e.from]++
+	}
+	// Predecessor CSR: iterating in ascending (from, to) order appends each
+	// bucket's predecessors in ascending ID order.
+	clear(fill)
+	for _, e := range dedup {
+		g.predEdges[g.predOff[e.to]+fill[e.to]] = e.from
+		fill[e.to]++
+	}
+
+	g.topo = kahnTopo(n, g.succOff, g.succEdges, g.predOff)
+	if len(g.topo) != n {
 		return nil, fmt.Errorf("dfg: graph contains a cycle")
 	}
 	return g, nil

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 )
 
@@ -17,10 +16,9 @@ func (g *Graph) WriteDOT(w io.Writer, title string) error {
 	for _, k := range g.kernels {
 		fmt.Fprintf(&sb, "  k%d [label=\"%s#%d\\n%d elems\"];\n", k.ID, k.Name, k.ID, k.DataElems)
 	}
-	for u := range g.succs {
-		succs := append([]KernelID(nil), g.succs[u]...)
-		sort.Slice(succs, func(i, j int) bool { return succs[i] < succs[j] })
-		for _, v := range succs {
+	for u := range g.kernels {
+		// CSR successor ranges are already sorted ascending.
+		for _, v := range g.Succs(KernelID(u)) {
 			fmt.Fprintf(&sb, "  k%d -> k%d;\n", u, v)
 		}
 	}
@@ -54,17 +52,14 @@ func (g *Graph) WriteJSON(w io.Writer) error {
 		}
 		jg.Kernels[i] = jk
 	}
-	for u := range g.succs {
-		for _, v := range g.succs[u] {
+	// CSR iteration in vertex order with sorted successor ranges yields
+	// edges already in (from, to) order.
+	jg.Edges = make([][2]int, 0, g.NumEdges())
+	for u := range g.kernels {
+		for _, v := range g.Succs(KernelID(u)) {
 			jg.Edges = append(jg.Edges, [2]int{u, int(v)})
 		}
 	}
-	sort.Slice(jg.Edges, func(i, j int) bool {
-		if jg.Edges[i][0] != jg.Edges[j][0] {
-			return jg.Edges[i][0] < jg.Edges[j][0]
-		}
-		return jg.Edges[i][1] < jg.Edges[j][1]
-	})
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(jg)

@@ -43,3 +43,218 @@ func FuzzReadJSON(f *testing.F) {
 		}
 	})
 }
+
+// --- Seed reference implementations -----------------------------------------
+//
+// The CSR refactor replaced per-vertex adjacency slices and the O(n²)
+// ordered-insert Kahn frontier with flat edge arrays and a heap frontier.
+// These reference functions reimplement the seed algorithms verbatim over
+// the public API; the fuzzers below assert the CSR graph agrees with them
+// on arbitrary DAGs.
+
+// refTopoOrder is the seed TopoOrder: Kahn with a sorted-slice frontier,
+// ordered inserts keeping smaller IDs first.
+func refTopoOrder(g *Graph) []KernelID {
+	n := g.NumKernels()
+	indeg := make([]int, n)
+	for id := 0; id < n; id++ {
+		indeg[id] = g.InDegree(KernelID(id))
+	}
+	var frontier []KernelID
+	for id := 0; id < n; id++ {
+		if indeg[id] == 0 {
+			frontier = append(frontier, KernelID(id))
+		}
+	}
+	order := make([]KernelID, 0, n)
+	for len(frontier) > 0 {
+		u := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, u)
+		for _, v := range g.Succs(u) {
+			indeg[v]--
+			if indeg[v] == 0 {
+				i := 0
+				for i < len(frontier) && frontier[i] < v {
+					i++
+				}
+				frontier = append(frontier, 0)
+				copy(frontier[i+1:], frontier[i:])
+				frontier[i] = v
+			}
+		}
+	}
+	return order
+}
+
+// refLevels is the seed Levels over a given topological order.
+func refLevels(g *Graph) [][]KernelID {
+	level := make([]int, g.NumKernels())
+	maxLevel := 0
+	for _, id := range refTopoOrder(g) {
+		l := 0
+		for _, p := range g.Preds(id) {
+			if level[p]+1 > l {
+				l = level[p] + 1
+			}
+		}
+		level[id] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	out := make([][]KernelID, maxLevel+1)
+	for id := range level {
+		out[level[id]] = append(out[level[id]], KernelID(id))
+	}
+	return out
+}
+
+// refCriticalPath is the seed CriticalPath: longest vertex-weighted path
+// walking the reference topological order in reverse.
+func refCriticalPath(g *Graph, weight func(Kernel) float64) (float64, []KernelID) {
+	n := g.NumKernels()
+	if n == 0 {
+		return 0, nil
+	}
+	dist := make([]float64, n)
+	next := make([]KernelID, n)
+	for i := range next {
+		next[i] = -1
+	}
+	order := refTopoOrder(g)
+	for i := n - 1; i >= 0; i-- {
+		id := order[i]
+		w := weight(g.Kernel(id))
+		best := 0.0
+		for _, s := range g.Succs(id) {
+			if dist[s] > best {
+				best = dist[s]
+				next[id] = s
+			}
+		}
+		dist[id] = w + best
+	}
+	bestStart := KernelID(0)
+	for id := 1; id < n; id++ {
+		if dist[id] > dist[bestStart] {
+			bestStart = KernelID(id)
+		}
+	}
+	var path []KernelID
+	for id := bestStart; id != -1; id = next[id] {
+		path = append(path, id)
+	}
+	return dist[bestStart], path
+}
+
+// fuzzGraph decodes an arbitrary byte string into a DAG: the first byte
+// picks the vertex count (2..65), every following byte pair (a, b) an edge
+// between distinct vertices directed low ID -> high ID — always acyclic,
+// frequently duplicated, exercising the Build-time dedup pass.
+func fuzzGraph(data []byte) *Graph {
+	if len(data) == 0 {
+		return nil
+	}
+	n := int(data[0])%64 + 2
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddKernel(Kernel{Name: "k", DataElems: int64(i + 1)})
+	}
+	for i := 1; i+1 < len(data); i += 2 {
+		u := KernelID(int(data[i]) % n)
+		v := KernelID(int(data[i+1]) % n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		b.AddEdge(u, v)
+	}
+	return b.MustBuild()
+}
+
+// FuzzGraphAlgos asserts the CSR-backed TopoOrder, Levels, CriticalPath and
+// HasEdge agree with the seed implementations on arbitrary DAGs.
+func FuzzGraphAlgos(f *testing.F) {
+	f.Add([]byte{5})
+	f.Add([]byte{8, 0, 1, 1, 2, 0, 2, 0, 2, 3, 7})
+	f.Add([]byte{64, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 200, 100})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := fuzzGraph(data)
+		if g == nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("built graph fails validation: %v", err)
+		}
+
+		want := refTopoOrder(g)
+		got := g.TopoOrder()
+		if len(got) != len(want) {
+			t.Fatalf("topo length %d != %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("topo[%d] = %d, want %d", i, got[i], want[i])
+			}
+		}
+		if buf := g.AppendTopoOrder(nil); len(buf) != len(want) {
+			t.Fatalf("AppendTopoOrder length %d != %d", len(buf), len(want))
+		}
+
+		wantLevels := refLevels(g)
+		gotLevels := g.Levels()
+		if len(gotLevels) != len(wantLevels) {
+			t.Fatalf("levels %d != %d", len(gotLevels), len(wantLevels))
+		}
+		for l := range wantLevels {
+			if len(gotLevels[l]) != len(wantLevels[l]) {
+				t.Fatalf("level %d size %d != %d", l, len(gotLevels[l]), len(wantLevels[l]))
+			}
+			for i := range wantLevels[l] {
+				if gotLevels[l][i] != wantLevels[l][i] {
+					t.Fatalf("level %d entry %d: %d != %d", l, i, gotLevels[l][i], wantLevels[l][i])
+				}
+			}
+		}
+
+		weight := func(k Kernel) float64 { return float64(k.DataElems) }
+		wantDist, wantPath := refCriticalPath(g, weight)
+		gotDist, gotPath := g.CriticalPath(weight)
+		if gotDist != wantDist {
+			t.Fatalf("critical path %v != %v", gotDist, wantDist)
+		}
+		if len(gotPath) != len(wantPath) {
+			t.Fatalf("critical path length %d != %d", len(gotPath), len(wantPath))
+		}
+		for i := range wantPath {
+			if gotPath[i] != wantPath[i] {
+				t.Fatalf("critical path[%d] = %d != %d", i, gotPath[i], wantPath[i])
+			}
+		}
+
+		// HasEdge against a linear scan of the adjacency, plus edge-count
+		// consistency between both CSR halves.
+		edges := 0
+		for u := 0; u < g.NumKernels(); u++ {
+			edges += len(g.Succs(KernelID(u)))
+			for v := 0; v < g.NumKernels(); v++ {
+				linear := false
+				for _, s := range g.Succs(KernelID(u)) {
+					if s == KernelID(v) {
+						linear = true
+						break
+					}
+				}
+				if got := g.HasEdge(KernelID(u), KernelID(v)); got != linear {
+					t.Fatalf("HasEdge(%d,%d) = %v, linear scan %v", u, v, got, linear)
+				}
+			}
+		}
+		if edges != g.NumEdges() {
+			t.Fatalf("NumEdges %d != summed out-degrees %d", g.NumEdges(), edges)
+		}
+	})
+}

@@ -79,7 +79,8 @@ func (r *Runner) robustSweep() (map[string]map[float64]robustCell, error) {
 	}
 
 	results := make([]*sim.Result, len(jobs))
-	errs := sim.RunPool(context.Background(), len(jobs), 0, func(i int, runner *sim.Runner) error {
+	errs := sim.RunPool(context.Background(), len(jobs), 0, func(i int, w *sim.Worker) error {
+		runner := w.Runner()
 		j := jobs[i]
 		g := graphs[j.graph]
 		noise := perturb.Noise{Frac: j.frac, Seed: extRobustSeedBase + int64(j.graph)}
@@ -282,7 +283,8 @@ func (r *Runner) ExtDegrade() (*Artifact, error) {
 		}
 	}
 	makespans := make([]float64, len(jobs))
-	errs := sim.RunPool(context.Background(), len(jobs), 0, func(i int, runner *sim.Runner) error {
+	errs := sim.RunPool(context.Background(), len(jobs), 0, func(i int, w *sim.Worker) error {
+		runner := w.Runner()
 		j := jobs[i]
 		pol, err := r.newPolicy(specs[j.spec])
 		if err != nil {

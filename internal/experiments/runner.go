@@ -249,13 +249,13 @@ func (r *Runner) Suite(typ workload.GraphType, rate platform.GBps, spec PolicySp
 		return out, nil
 	}
 
-	errs := sim.RunPool(context.Background(), len(missing), 0, func(j int, runner *sim.Runner) error {
+	errs := sim.RunPool(context.Background(), len(missing), 0, func(j int, w *sim.Worker) error {
 		i := missing[j]
 		costs, pol, sys, err := r.prepareCell(graphs[i], rate, spec)
 		if err != nil {
 			return err
 		}
-		res, err := runner.Run(costs, pol, sim.Options{SchedOverheadMs: r.cfg.SchedOverheadMs})
+		res, err := w.Runner().Run(costs, pol, sim.Options{SchedOverheadMs: r.cfg.SchedOverheadMs})
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,44 @@
+// Package heaps provides allocation-free binary min-heap primitives over
+// plain slices, shared by the simulator's event queue and the heap-Kahn
+// frontiers in dfg and policy. Callers own the slice and the ordering:
+// append then Up to push, swap-root-with-last then Down to pop. With a
+// strict total order (no equal elements), the pop sequence is unique
+// regardless of internal arrangement, so refactoring between callers can
+// never change simulation output.
+package heaps
+
+// Up restores the heap property after the element at index i changed
+// (typically: just appended). less must be a strict ordering; the minimum
+// ends up at index 0.
+func Up[T any](h []T, i int, less func(a, b T) bool) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// Down restores the heap property from index i towards the leaves
+// (typically i = 0 after the caller moved the last element to the root and
+// truncated the slice).
+func Down[T any](h []T, i int, less func(a, b T) bool) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && less(h[l], h[smallest]) {
+			smallest = l
+		}
+		if r < n && less(h[r], h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}

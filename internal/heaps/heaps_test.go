@@ -1,0 +1,56 @@
+package heaps
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHeapSortsDistinctElements(t *testing.T) {
+	less := func(a, b int) bool { return a < b }
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := r.Intn(200)
+		perm := r.Perm(n) // distinct elements: pop order must be unique
+		var h []int
+		for _, v := range perm {
+			h = append(h, v)
+			Up(h, len(h)-1, less)
+		}
+		var got []int
+		for len(h) > 0 {
+			got = append(got, h[0])
+			last := len(h) - 1
+			h[0] = h[last]
+			h = h[:last]
+			Down(h, 0, less)
+		}
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("trial %d: pop order not sorted: %v", trial, got)
+		}
+		if len(got) != n {
+			t.Fatalf("trial %d: popped %d of %d", trial, len(got), n)
+		}
+	}
+}
+
+func TestHeapZeroAlloc(t *testing.T) {
+	less := func(a, b int) bool { return a < b }
+	h := make([]int, 0, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		h = h[:0]
+		for v := 63; v >= 0; v-- {
+			h = append(h, v)
+			Up(h, len(h)-1, less)
+		}
+		for len(h) > 0 {
+			last := len(h) - 1
+			h[0] = h[last]
+			h = h[:last]
+			Down(h, 0, less)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("heap ops allocated %.1f per run", allocs)
+	}
+}

@@ -1,11 +1,10 @@
 package policy
 
 import (
-	"container/heap"
 	"math"
 
 	"repro/internal/dfg"
-	"repro/internal/platform"
+	"repro/internal/heaps"
 	"repro/internal/sim"
 )
 
@@ -37,10 +36,17 @@ type PEFT struct {
 	// variant. Ignored unless Textbook is set.
 	NoInsertion bool
 
-	plan staticPlan
+	plan    staticPlan
+	memo    prepMemo
+	scratch schedScratch
+	octFlat []float64
+	order   []dfg.KernelID
+	indeg   []int32
+	visit   []dfg.KernelID
+	heapKs  []dfg.KernelID
 
 	// OCT, exposed after Prepare, is the optimistic cost table
-	// [kernel][processor].
+	// [kernel][processor]. Rows alias one flat backing array.
 	OCT [][]float64
 	// RankOCT is the per-kernel mean OCT row.
 	RankOCT []float64
@@ -54,28 +60,48 @@ func NewPEFT() *PEFT { return &PEFT{} }
 // Name implements sim.Policy.
 func (pf *PEFT) Name() string { return "PEFT" }
 
-// Prepare implements sim.Policy.
+// Prepare implements sim.Policy. Prepare is a pure function of the cost
+// oracle, so preparing the same instance for the same *Costs again only
+// re-arms the cached plan (OCT table, ranks and schedule are reused).
 func (pf *PEFT) Prepare(c *sim.Costs) error {
+	if pf.memo.hit(c) {
+		pf.plan.rearm()
+		return nil
+	}
+	pf.memo.forget()
 	g := c.Graph()
 	n := g.NumKernels()
 	np := c.System().NumProcs()
 
 	// OCT per Eq. 6, computed in reverse topological order. For exit tasks
-	// every entry is zero.
-	pf.OCT = make([][]float64, n)
-	for i := range pf.OCT {
-		pf.OCT[i] = make([]float64, np)
+	// every entry is zero. Rows slice one flat backing array so the table
+	// is cache-contiguous and costs two allocations, not n+1.
+	pf.octFlat = grow(pf.octFlat, n*np)
+	for i := range pf.octFlat {
+		pf.octFlat[i] = 0
 	}
-	order := g.TopoOrder()
+	if cap(pf.OCT) >= n {
+		pf.OCT = pf.OCT[:n]
+	} else {
+		pf.OCT = make([][]float64, n)
+	}
+	for i := range pf.OCT {
+		pf.OCT[i] = pf.octFlat[i*np : (i+1)*np : (i+1)*np]
+	}
+	order := g.AppendTopoOrder(pf.order[:0])
+	pf.order = order
 	for i := n - 1; i >= 0; i-- {
 		ti := order[i]
 		cMean := c.MeanTransfer(ti)
+		octRow := pf.OCT[ti]
 		for pk := 0; pk < np; pk++ {
 			best := 0.0
 			for _, tj := range g.Succs(ti) {
 				inner := math.Inf(1)
+				succOCT := pf.OCT[tj]
+				succExec := c.ExecRow(tj)
 				for pw := 0; pw < np; pw++ {
-					v := pf.OCT[tj][pw] + c.Exec(tj, platform.ProcID(pw))
+					v := succOCT[pw] + succExec[pw]
 					if pw != pk {
 						v += cMean
 					}
@@ -87,12 +113,12 @@ func (pf *PEFT) Prepare(c *sim.Costs) error {
 					best = inner
 				}
 			}
-			pf.OCT[ti][pk] = best
+			octRow[pk] = best
 		}
 	}
 
 	// rank_oct per Eq. 7.
-	pf.RankOCT = make([]float64, n)
+	pf.RankOCT = grow(pf.RankOCT, n)
 	for i := 0; i < n; i++ {
 		var sum float64
 		for pk := 0; pk < np; pk++ {
@@ -110,7 +136,7 @@ func (pf *PEFT) Prepare(c *sim.Costs) error {
 	var tasks []plannedTask
 	var err error
 	if pf.Textbook {
-		tasks, err = listSchedule(c, visit, pf.NoInsertion, func(k dfg.KernelID, est, eft []float64) int {
+		tasks, err = listSchedule(c, &pf.scratch, visit, pf.NoInsertion, func(k dfg.KernelID, est, eft []float64) int {
 			best := 0
 			bestV := math.Inf(1)
 			for p := 0; p < np; p++ {
@@ -124,12 +150,14 @@ func (pf *PEFT) Prepare(c *sim.Costs) error {
 			return err
 		}
 	} else {
-		tasks = bookingSchedule(c, visit, func(k dfg.KernelID, booked []float64) int {
+		tasks = bookingSchedule(c, &pf.scratch, visit, func(k dfg.KernelID, booked []float64) int {
 			// Thesis rule: least (cost-table value + execution time).
 			best := 0
 			bestV := math.Inf(1)
+			octRow := pf.OCT[k]
+			execRow := c.ExecRow(k)
 			for p := 0; p < np; p++ {
-				if v := pf.OCT[k][p] + c.Exec(k, platform.ProcID(p)); v < bestV {
+				if v := octRow[p] + execRow[p]; v < bestV {
 					bestV, best = v, p
 				}
 			}
@@ -138,57 +166,57 @@ func (pf *PEFT) Prepare(c *sim.Costs) error {
 	}
 	pf.PlannedMakespanMs = plannedMakespan(tasks)
 	pf.plan.set(tasks)
+	pf.memo.remember(c)
 	return nil
 }
 
 // visitOrder returns kernels by decreasing rank_oct constrained to
-// precedence order.
+// precedence order: Kahn's algorithm with a binary max-heap frontier keyed
+// by rank_oct (ties to lower ID), O(E log V) with pooled buffers.
 func (pf *PEFT) visitOrder(g *dfg.Graph) []dfg.KernelID {
 	n := g.NumKernels()
-	indeg := make([]int, n)
-	h := &rankHeap{rank: pf.RankOCT}
+	rank := pf.RankOCT
+	pf.indeg = grow(pf.indeg, n)
+	indeg := pf.indeg
+	heap := pf.heapKs[:0]
+	// higher orders a before b in the frontier: larger rank first, ties to
+	// the lower kernel ID.
+	higher := func(a, b dfg.KernelID) bool {
+		if rank[a] != rank[b] {
+			return rank[a] > rank[b]
+		}
+		return a < b
+	}
 	for i := 0; i < n; i++ {
-		indeg[i] = g.InDegree(dfg.KernelID(i))
+		indeg[i] = int32(g.InDegree(dfg.KernelID(i)))
 		if indeg[i] == 0 {
-			heap.Push(h, dfg.KernelID(i))
+			heap = append(heap, dfg.KernelID(i))
+			heaps.Up(heap, len(heap)-1, higher)
 		}
 	}
-	out := make([]dfg.KernelID, 0, n)
-	for h.Len() > 0 {
-		k := heap.Pop(h).(dfg.KernelID)
+	out := pf.visit[:0]
+	if cap(out) < n {
+		out = make([]dfg.KernelID, 0, n)
+	}
+	for len(heap) > 0 {
+		k := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		heaps.Down(heap, 0, higher)
 		out = append(out, k)
 		for _, s := range g.Succs(k) {
 			indeg[s]--
 			if indeg[s] == 0 {
-				heap.Push(h, s)
+				heap = append(heap, s)
+				heaps.Up(heap, len(heap)-1, higher)
 			}
 		}
 	}
+	pf.heapKs = heap
+	pf.visit = out
 	return out
 }
 
 // Select implements sim.Policy.
 func (pf *PEFT) Select(*sim.State) []sim.Assignment { return pf.plan.release() }
-
-// rankHeap pops the kernel with the highest rank, ties to lower ID.
-type rankHeap struct {
-	rank []float64
-	ks   []dfg.KernelID
-}
-
-func (h *rankHeap) Len() int { return len(h.ks) }
-func (h *rankHeap) Less(i, j int) bool {
-	a, b := h.ks[i], h.ks[j]
-	if h.rank[a] != h.rank[b] {
-		return h.rank[a] > h.rank[b]
-	}
-	return a < b
-}
-func (h *rankHeap) Swap(i, j int)      { h.ks[i], h.ks[j] = h.ks[j], h.ks[i] }
-func (h *rankHeap) Push(x interface{}) { h.ks = append(h.ks, x.(dfg.KernelID)) }
-func (h *rankHeap) Pop() interface{} {
-	n := len(h.ks)
-	k := h.ks[n-1]
-	h.ks = h.ks[:n-1]
-	return k
-}

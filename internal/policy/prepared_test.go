@@ -1,0 +1,112 @@
+package policy_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/lut"
+	"repro/internal/platform"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// preparedCosts builds two distinct cost oracles over two generated graphs.
+func preparedCosts(t *testing.T) (*sim.Costs, *sim.Costs) {
+	t.Helper()
+	sys := platform.PaperSystem(platform.GBps(4))
+	var out []*sim.Costs
+	for seed := int64(1); seed <= 2; seed++ {
+		series, err := workload.ScaleSeries(300, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := workload.BuildScaleLayered(series, workload.DefaultScaleLayeredConfig(),
+			rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := sim.PrepareCosts(g, sys, lut.Paper(), sim.CostConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, c)
+	}
+	return out[0], out[1]
+}
+
+// TestPreparedReuseMatchesFresh proves the prepared-policy fast path is
+// invisible in results: re-running one policy instance over the same cost
+// oracle (memoised Prepare), then over a different oracle (full
+// re-Prepare), matches fresh instances run by a fresh engine every time.
+func TestPreparedReuseMatchesFresh(t *testing.T) {
+	c1, c2 := preparedCosts(t)
+	makers := map[string]func() sim.Policy{
+		"HEFT":          func() sim.Policy { return policy.NewHEFT() },
+		"HEFT-textbook": func() sim.Policy { return &policy.HEFT{Textbook: true} },
+		"PEFT":          func() sim.Policy { return policy.NewPEFT() },
+		"PEFT-textbook": func() sim.Policy { return &policy.PEFT{Textbook: true} },
+		"SPN":           func() sim.Policy { return policy.NewSPN() },
+		"SS":            func() sim.Policy { return policy.NewSS() },
+		"MET":           func() sim.Policy { return policy.NewMET(3) },
+	}
+	for name, mk := range makers {
+		t.Run(name, func(t *testing.T) {
+			reused := mk()
+			r := sim.NewRunner()
+			// Interleave oracles: same, same (memo hit), other (full
+			// re-prepare), same again (re-prepare back).
+			for i, c := range []*sim.Costs{c1, c1, c2, c1} {
+				got, err := r.Run(c, reused, sim.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := sim.Run(c, mk(), sim.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.MakespanMs != want.MakespanMs {
+					t.Fatalf("run %d: makespan %v != fresh %v", i, got.MakespanMs, want.MakespanMs)
+				}
+				if !reflect.DeepEqual(got.Placements, want.Placements) {
+					t.Fatalf("run %d: placements differ from fresh instance", i)
+				}
+			}
+		})
+	}
+}
+
+// TestPreparedReuseSkipsRecompute pins the memoisation mechanics: a HEFT
+// instance re-prepared for the same *Costs keeps its plan without
+// recomputing ranks (same backing array), and a different *Costs forces a
+// full recompute.
+func TestPreparedReuseSkipsRecompute(t *testing.T) {
+	c1, c2 := preparedCosts(t)
+	h := policy.NewHEFT()
+	if err := h.Prepare(c1); err != nil {
+		t.Fatal(err)
+	}
+	rank1 := h.RankU
+	first := h.PlannedMakespanMs
+	// Poison the exported rank slice; a memo hit must not rewrite it.
+	h.RankU[0] = -12345
+	if err := h.Prepare(c1); err != nil {
+		t.Fatal(err)
+	}
+	if &h.RankU[0] != &rank1[0] || h.RankU[0] != -12345 {
+		t.Fatal("Prepare with the same *Costs recomputed instead of memoising")
+	}
+	if err := h.Prepare(c2); err != nil {
+		t.Fatal(err)
+	}
+	if h.RankU[0] == -12345 {
+		t.Fatal("Prepare with a different *Costs did not recompute")
+	}
+	if err := h.Prepare(c1); err != nil {
+		t.Fatal(err)
+	}
+	if h.PlannedMakespanMs != first {
+		t.Fatalf("re-prepared makespan %v != first %v", h.PlannedMakespanMs, first)
+	}
+}

@@ -32,7 +32,8 @@ func (s *SPN) Name() string { return "SPN" }
 // Prepare implements sim.Policy.
 func (s *SPN) Prepare(c *sim.Costs) error {
 	s.c = c
-	s.taken = make([]bool, c.Graph().NumKernels())
+	s.taken = grow(s.taken, c.Graph().NumKernels())
+	clear(s.taken)
 	return nil
 }
 

@@ -33,7 +33,8 @@ func (s *SS) Name() string { return "SS" }
 // Prepare implements sim.Policy.
 func (s *SS) Prepare(c *sim.Costs) error {
 	s.c = c
-	s.taken = make([]bool, c.Graph().NumKernels())
+	s.taken = grow(s.taken, c.Graph().NumKernels())
+	clear(s.taken)
 	return nil
 }
 

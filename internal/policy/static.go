@@ -10,6 +10,27 @@ import (
 	"repro/internal/sim"
 )
 
+// prepMemo remembers the cost oracle a policy instance last fully prepared
+// for. Static policies key their Prepare memoisation on it: a Costs is
+// immutable and Prepare is a pure function of it, so re-running the same
+// policy instance against the same *Costs can reuse the previous plan (OCT
+// tables, ranks, planned schedule) and only re-arm the per-run release
+// state. Batch sweeps over one graph hit this path thousands of times.
+type prepMemo struct{ c *sim.Costs }
+
+// hit reports whether c matches the memoised oracle. Policies call
+// remember only after a successful full Prepare, so a failed Prepare can
+// never poison the memo (a later retry re-runs in full).
+func (m *prepMemo) hit(c *sim.Costs) bool { return m.c == c }
+
+// remember records the oracle the instance is now fully prepared for.
+// Call forget at the start of a full re-Prepare so errors leave the memo
+// empty.
+func (m *prepMemo) remember(c *sim.Costs) { m.c = c }
+
+// forget clears the memo.
+func (m *prepMemo) forget() { m.c = nil }
+
 // timeline is one processor's planned occupancy during static list
 // scheduling, supporting the insertion-based slot search HEFT and PEFT use:
 // a task may be planned into an idle gap between two already-planned tasks
@@ -61,6 +82,29 @@ type plannedTask struct {
 	finish float64
 }
 
+// schedScratch pools the working buffers of listSchedule and
+// bookingSchedule on the owning policy struct, so a full re-Prepare (new
+// cost oracle) reuses the previous prepare's allocations instead of
+// re-growing them — Prepare stays allocation-lean across a sweep that
+// cycles a policy instance over several graphs.
+type schedScratch struct {
+	est, eft []float64
+	booked   []float64
+	placed   []plannedTask // indexed by kernel ID (listSchedule)
+	isPlaced []bool
+	tls      []timeline
+	tasks    []plannedTask
+}
+
+// grow returns s resized to n elements, reusing its backing array when
+// possible. Contents are unspecified; callers must reinitialise.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
 // listSchedule runs insertion-based list scheduling: tasks are visited in
 // the given priority order (which must be a linear extension of the
 // dependency order, i.e. every task after its predecessors) and each is
@@ -72,39 +116,51 @@ type plannedTask struct {
 // (planned finish + transfer between the planned processors), with
 // transfers between co-located tasks free. This matches HEFT's EFT phase
 // with actual (not averaged) execution and link costs.
+//
+// The returned slice aliases sc's pooled buffer and is valid until the next
+// schedule call with the same scratch.
 func listSchedule(
 	c *sim.Costs,
+	sc *schedScratch,
 	order []dfg.KernelID,
 	noInsertion bool,
 	pick func(k dfg.KernelID, est, eft []float64) int,
 ) ([]plannedTask, error) {
 	g := c.Graph()
+	n := g.NumKernels()
 	np := c.System().NumProcs()
-	tls := make([]timeline, np)
-	for i := range tls {
-		tls[i].noInsertion = noInsertion
+	sc.tls = grow(sc.tls, np)
+	for i := range sc.tls {
+		sc.tls[i].starts = sc.tls[i].starts[:0]
+		sc.tls[i].ends = sc.tls[i].ends[:0]
+		sc.tls[i].noInsertion = noInsertion
 	}
-	placed := make(map[dfg.KernelID]*plannedTask, len(order))
+	sc.placed = grow(sc.placed, n)
+	sc.isPlaced = grow(sc.isPlaced, n)
+	for i := range sc.isPlaced {
+		sc.isPlaced[i] = false
+	}
+	sc.est = grow(sc.est, np)
+	sc.eft = grow(sc.eft, np)
+	est, eft := sc.est, sc.eft
 
-	var out []plannedTask
+	out := sc.tasks[:0]
 	for _, k := range order {
-		est := make([]float64, np)
-		eft := make([]float64, np)
 		for p := 0; p < np; p++ {
 			pid := platform.ProcID(p)
 			ready := 0.0
 			for _, pred := range g.Preds(k) {
-				pt, ok := placed[pred]
-				if !ok {
+				if !sc.isPlaced[pred] {
 					return nil, fmt.Errorf("policy: order visits kernel %d before predecessor %d", k, pred)
 				}
+				pt := &sc.placed[pred]
 				arrive := pt.finish + c.TransferMs(g.Kernel(pred).OutElems, pt.proc, pid)
 				if arrive > ready {
 					ready = arrive
 				}
 			}
 			dur := c.Exec(k, pid)
-			est[p] = tls[p].earliestSlot(ready, dur)
+			est[p] = sc.tls[p].earliestSlot(ready, dur)
 			eft[p] = est[p] + dur
 		}
 		p := pick(k, est, eft)
@@ -112,11 +168,13 @@ func listSchedule(
 			return nil, fmt.Errorf("policy: pick returned invalid processor %d for kernel %d", p, k)
 		}
 		dur := c.Exec(k, platform.ProcID(p))
-		tls[p].insert(est[p], dur)
-		pt := &plannedTask{kernel: k, proc: platform.ProcID(p), start: est[p], finish: est[p] + dur}
-		placed[k] = pt
-		out = append(out, *pt)
+		sc.tls[p].insert(est[p], dur)
+		pt := plannedTask{kernel: k, proc: platform.ProcID(p), start: est[p], finish: est[p] + dur}
+		sc.placed[k] = pt
+		sc.isPlaced[k] = true
+		out = append(out, pt)
 	}
+	sc.tasks = out
 	return out, nil
 }
 
@@ -127,14 +185,25 @@ func listSchedule(
 // starts ignore data-ready times — at execution the engine makes each
 // processor wait for real dependencies, so the plan's per-processor
 // *order* is what matters.
+//
+// The returned slice aliases sc's pooled buffer and is valid until the next
+// schedule call with the same scratch.
 func bookingSchedule(
 	c *sim.Costs,
+	sc *schedScratch,
 	order []dfg.KernelID,
 	pick func(k dfg.KernelID, booked []float64) int,
 ) []plannedTask {
 	np := c.System().NumProcs()
-	booked := make([]float64, np)
-	out := make([]plannedTask, 0, len(order))
+	sc.booked = grow(sc.booked, np)
+	booked := sc.booked
+	for i := range booked {
+		booked[i] = 0
+	}
+	out := sc.tasks[:0]
+	if cap(out) < len(order) {
+		out = make([]plannedTask, 0, len(order))
+	}
 	for _, k := range order {
 		p := pick(k, booked)
 		dur := c.Exec(k, platform.ProcID(p))
@@ -146,6 +215,7 @@ func bookingSchedule(
 		})
 		booked[p] += dur
 	}
+	sc.tasks = out
 	return out
 }
 
@@ -158,24 +228,32 @@ func bookingSchedule(
 // — but the planned order is what defines HEFT/PEFT.)
 type staticPlan struct {
 	tasks    []plannedTask
+	out      []sim.Assignment
 	released bool
 }
 
 func (sp *staticPlan) set(tasks []plannedTask) {
-	sp.tasks = append([]plannedTask(nil), tasks...)
+	sp.tasks = append(sp.tasks[:0], tasks...)
 	sort.SliceStable(sp.tasks, func(i, j int) bool { return sp.tasks[i].start < sp.tasks[j].start })
 	sp.released = false
 }
+
+// rearm resets the one-shot release for another run of the same plan.
+func (sp *staticPlan) rearm() { sp.released = false }
 
 func (sp *staticPlan) release() []sim.Assignment {
 	if sp.released {
 		return nil
 	}
 	sp.released = true
-	out := make([]sim.Assignment, len(sp.tasks))
-	for i, t := range sp.tasks {
-		out[i] = sim.Assignment{Kernel: t.kernel, Proc: t.proc}
+	out := sp.out[:0]
+	if cap(out) < len(sp.tasks) {
+		out = make([]sim.Assignment, 0, len(sp.tasks))
 	}
+	for _, t := range sp.tasks {
+		out = append(out, sim.Assignment{Kernel: t.kernel, Proc: t.proc})
+	}
+	sp.out = out
 	return out
 }
 

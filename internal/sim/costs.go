@@ -18,6 +18,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/dfg"
 	"repro/internal/lut"
@@ -81,12 +82,24 @@ func DefaultCostConfig() CostConfig { return CostConfig{ElemBytes: 4, Mode: Tran
 // which is what makes robustness runs honest: policies decide on beliefs,
 // reality charges the truth.
 type Costs struct {
-	g    *dfg.Graph
-	sys  *platform.System
-	cfg  CostConfig
-	exec [][]float64 // [kernelID][procID] execution ms
+	g   *dfg.Graph
+	sys *platform.System
+	cfg CostConfig
+	np  int
+	// exec is the kernel×processor execution-time matrix flattened row-major
+	// with stride np (exec[k*np+p]), one contiguous allocation regardless of
+	// graph size.
+	exec []float64
 	best []platform.ProcID
 	mean []float64 // mean exec across procs, for HEFT ranks
+
+	// ranked is the per-kernel ascending-execution-time processor order,
+	// flattened with stride np and built lazily on the first RankedProcs
+	// call (many runs never need it; 100k-kernel graphs should not pay an
+	// O(n·P log P) sort up front). sync.Once keeps the build race-free —
+	// one Costs is shared across worker goroutines.
+	rankOnce sync.Once
+	ranked   []platform.ProcID
 }
 
 // PrepareCosts precomputes the kernel×processor execution-time matrix and
@@ -108,13 +121,14 @@ func PrepareCosts(g *dfg.Graph, sys *platform.System, tab *lut.Table, cfg CostCo
 		g:    g,
 		sys:  sys,
 		cfg:  cfg,
-		exec: make([][]float64, n),
+		np:   np,
+		exec: make([]float64, n*np),
 		best: make([]platform.ProcID, n),
 		mean: make([]float64, n),
 	}
 	for id := 0; id < n; id++ {
 		k := g.Kernel(dfg.KernelID(id))
-		row := make([]float64, np)
+		row := c.exec[id*np : (id+1)*np]
 		sum := 0.0
 		best := platform.ProcID(0)
 		for p := 0; p < np; p++ {
@@ -129,7 +143,6 @@ func PrepareCosts(g *dfg.Graph, sys *platform.System, tab *lut.Table, cfg CostCo
 				best = platform.ProcID(p)
 			}
 		}
-		c.exec[id] = row
 		c.best[id] = best
 		c.mean[id] = sum / float64(np)
 	}
@@ -146,7 +159,15 @@ func (c *Costs) System() *platform.System { return c.sys }
 func (c *Costs) Config() CostConfig { return c.cfg }
 
 // Exec returns the execution time in ms of kernel k on processor p.
-func (c *Costs) Exec(k dfg.KernelID, p platform.ProcID) float64 { return c.exec[k][p] }
+func (c *Costs) Exec(k dfg.KernelID, p platform.ProcID) float64 {
+	return c.exec[int(k)*c.np+int(p)]
+}
+
+// ExecRow returns kernel k's execution times across all processors,
+// indexed by ProcID. The slice aliases the flat cost table; do not modify.
+func (c *Costs) ExecRow(k dfg.KernelID) []float64 {
+	return c.exec[int(k)*c.np : int(k+1)*c.np]
+}
 
 // MeanExec returns the mean execution time of kernel k across all
 // processors (the w̄ᵢ of HEFT's upward rank).
@@ -156,30 +177,54 @@ func (c *Costs) MeanExec(k dfg.KernelID) float64 { return c.mean[k] }
 // (the paper's pmin) and that minimum time. Ties break to the lower ID.
 func (c *Costs) BestProc(k dfg.KernelID) (platform.ProcID, float64) {
 	p := c.best[k]
-	return p, c.exec[k][p]
+	return p, c.exec[int(k)*c.np+int(p)]
+}
+
+// rankedRow returns kernel k's ascending-execution-time processor order
+// from the lazily built flat table (ties by ID). The first call pays one
+// O(n·P log P) pass; later calls are a slice expression.
+func (c *Costs) rankedRow(k dfg.KernelID) []platform.ProcID {
+	c.rankOnce.Do(func() {
+		n := c.g.NumKernels()
+		np := c.np
+		ranked := make([]platform.ProcID, n*np)
+		for id := 0; id < n; id++ {
+			out := ranked[id*np : (id+1)*np]
+			for i := range out {
+				out[i] = platform.ProcID(i)
+			}
+			row := c.exec[id*np : (id+1)*np]
+			// Insertion sort: np is small (3 in the paper's system, a few
+			// hundred at most for the scale machines).
+			for i := 1; i < np; i++ {
+				for j := i; j > 0; j-- {
+					a, b := out[j-1], out[j]
+					if row[b] < row[a] || (row[b] == row[a] && b < a) {
+						out[j-1], out[j] = b, a
+					} else {
+						break
+					}
+				}
+			}
+		}
+		c.ranked = ranked
+	})
+	return c.ranked[int(k)*c.np : int(k+1)*c.np]
 }
 
 // RankedProcs returns all processors ordered by ascending execution time
-// for k (ties by ID). The slice is fresh and owned by the caller.
+// for k (ties by ID). The slice is fresh and owned by the caller;
+// allocation-sensitive callers should prefer AppendRankedProcs.
 func (c *Costs) RankedProcs(k dfg.KernelID) []platform.ProcID {
-	np := c.sys.NumProcs()
-	out := make([]platform.ProcID, np)
-	for i := range out {
-		out[i] = platform.ProcID(i)
-	}
-	row := c.exec[k]
-	// Insertion sort: np is tiny (3 in the paper's system).
-	for i := 1; i < np; i++ {
-		for j := i; j > 0; j-- {
-			a, b := out[j-1], out[j]
-			if row[b] < row[a] || (row[b] == row[a] && b < a) {
-				out[j-1], out[j] = b, a
-			} else {
-				break
-			}
-		}
-	}
-	return out
+	return c.AppendRankedProcs(make([]platform.ProcID, 0, c.np), k)
+}
+
+// AppendRankedProcs appends kernel k's ascending-execution-time processor
+// order (same order as RankedProcs) to buf and returns the extended slice;
+// with a reused buffer the query is allocation-free after the table's
+// one-time lazy build.
+func (c *Costs) AppendRankedProcs(buf []platform.ProcID, k dfg.KernelID) []platform.ProcID {
+	return append(buf, c.rankedRow(k)...)
 }
 
 // TransferMs returns the time to move elems elements across the directed
