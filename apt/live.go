@@ -1,0 +1,21 @@
+package apt
+
+import "repro/online"
+
+// Live serving re-exports: the repro/online package runs the APT rule
+// against real work at runtime (a sharded live scheduler with an HTTP
+// front end in cmd/aptserve), and reports the same latency shape the
+// simulator's streaming results use — count/mean/extrema plus
+// p50/p90/p95/p99, in milliseconds. These aliases let code that consumes
+// simulated Result.Sojourn summaries switch to live LiveStats.Sojourn
+// telemetry without importing a second package.
+
+// LiveStats is the live scheduler's counter-and-latency snapshot
+// (online.Stats): submissions, completions, rejections, per-processor
+// throughput, the current (possibly auto-tuned) α and sojourn /
+// queue-wait percentile summaries.
+type LiveStats = online.Stats
+
+// LiveLatency is one live latency distribution summary
+// (online.LatencySummary), the serving-side analogue of LatencyStats.
+type LiveLatency = online.LatencySummary

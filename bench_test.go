@@ -1,6 +1,6 @@
 // Benchmarks regenerating every table and figure of the thesis's
 // evaluation (one Benchmark per paper artifact), plus ablation benches for
-// the design choices DESIGN.md calls out. Each iteration rebuilds the
+// the design choices docs/ARCHITECTURE.md calls out. Each iteration rebuilds the
 // artifact from scratch on a fresh runner — no memoisation across
 // iterations — so the reported time is the full cost of reproducing that
 // artifact.
@@ -41,7 +41,7 @@ func benchArtifact(b *testing.B, id string) {
 }
 
 // One benchmark per paper table and figure (the evaluation chapter's full
-// set; see DESIGN.md §4 for the artifact-to-module index).
+// set; see docs/ARCHITECTURE.md for the module map).
 
 func BenchmarkTable01(b *testing.B)   { benchArtifact(b, "table1") }
 func BenchmarkTable05(b *testing.B)   { benchArtifact(b, "table5") }
@@ -65,7 +65,7 @@ func BenchmarkTable14(b *testing.B)   { benchArtifact(b, "table14") }
 func BenchmarkTable15(b *testing.B)   { benchArtifact(b, "table15") }
 func BenchmarkTable16(b *testing.B)   { benchArtifact(b, "table16") }
 
-// Extension artifacts (not in the thesis; see DESIGN.md §7).
+// Extension artifacts (not in the thesis; see docs/ARCHITECTURE.md).
 
 func BenchmarkExtPolicies(b *testing.B) { benchArtifact(b, "ext-policies") }
 func BenchmarkExtStream(b *testing.B)   { benchArtifact(b, "ext-stream") }
@@ -102,7 +102,7 @@ func BenchmarkStreamRunner(b *testing.B) {
 
 // --- Ablation benches -----------------------------------------------------
 //
-// These quantify the design decisions documented in DESIGN.md by running
+// These quantify the design decisions documented in docs/ARCHITECTURE.md by running
 // one full suite (10 graphs) per iteration and reporting the average
 // makespan as a custom metric (ms/graph), so `-bench` output doubles as an
 // ablation table.

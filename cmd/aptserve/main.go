@@ -1,0 +1,323 @@
+// aptserve is an HTTP/JSON front end over the online scheduler: an APT
+// placement service a host process (or a load generator) can feed live
+// work into.
+//
+//	aptserve -addr :8080 -procs 4 -alpha 4
+//
+// Endpoints:
+//
+//	POST /submit  — one task: {"name","est_ms":[...],"xfer_ms":[...],"actual_ms":[...]}
+//	                blocks until the task finishes, returns the placement
+//	                and measured latencies.
+//	POST /graph   — a task DAG: {"tasks":[{"name","est_ms","deps":[...]},...]}
+//	                dependencies release as predecessors finish; returns
+//	                per-task placements and the graph makespan.
+//	GET  /stats   — live scheduler statistics: counters, current α and
+//	                sojourn / queue-wait percentiles.
+//	GET  /healthz — liveness: {"status":"ok",...}.
+//
+// Tasks "execute" by sleeping their actual_ms on the chosen processor
+// (divided by -speed, so demos and smoke tests run fast); actual_ms
+// defaults to est_ms. On SIGINT/SIGTERM the server stops accepting HTTP
+// requests, drains the scheduler (bounded by -drain-timeout) and prints
+// the final stats as JSON on stderr.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/online"
+)
+
+type config struct {
+	procs        int
+	alpha        float64
+	queueLimit   int
+	speed        float64
+	autoTune     bool
+	drainTimeout time.Duration
+}
+
+// server glues the HTTP handlers to one online.Scheduler.
+type server struct {
+	sched *online.Scheduler
+	cfg   config
+	start time.Time
+}
+
+func newServer(cfg config) (*server, error) {
+	if cfg.speed <= 0 {
+		return nil, fmt.Errorf("aptserve: -speed must be positive, got %v", cfg.speed)
+	}
+	sc := online.Config{Procs: cfg.procs, Alpha: cfg.alpha, QueueLimit: cfg.queueLimit}
+	if cfg.autoTune {
+		sc.AutoTune = &online.AutoTuneConfig{}
+	}
+	sched, err := online.NewWithConfig(sc)
+	if err != nil {
+		return nil, err
+	}
+	sched.Start()
+	return &server{sched: sched, cfg: cfg, start: time.Now()}, nil
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /submit", s.handleSubmit)
+	mux.HandleFunc("POST /graph", s.handleGraph)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// drain quiesces the scheduler and returns its final stats.
+func (s *server) drain(ctx context.Context) (online.Stats, error) {
+	err := s.sched.Drain(ctx)
+	return s.sched.Stats(), err
+}
+
+type taskRequest struct {
+	Name     string    `json:"name"`
+	EstMs    []float64 `json:"est_ms"`
+	XferMs   []float64 `json:"xfer_ms,omitempty"`
+	ActualMs []float64 `json:"actual_ms,omitempty"`
+}
+
+type taskResponse struct {
+	Name        string  `json:"name"`
+	Proc        int     `json:"proc"`
+	Alt         bool    `json:"alt"`
+	SojournMs   float64 `json:"sojourn_ms"`
+	QueueWaitMs float64 `json:"queue_wait_ms"`
+	Err         string  `json:"err,omitempty"`
+}
+
+// task converts a request into a scheduler task whose Run sleeps the
+// actual time on the chosen processor, scaled by -speed.
+func (s *server) task(req taskRequest) (online.Task, error) {
+	actual := req.ActualMs
+	if actual == nil {
+		actual = req.EstMs
+	}
+	if len(actual) != len(req.EstMs) {
+		return online.Task{}, fmt.Errorf("task %q: %d actual_ms for %d est_ms", req.Name, len(actual), len(req.EstMs))
+	}
+	for p, a := range actual {
+		if a < 0 {
+			return online.Task{}, fmt.Errorf("task %q: negative actual_ms %v on processor %d", req.Name, a, p)
+		}
+	}
+	speed := s.cfg.speed
+	return online.Task{
+		Name:   req.Name,
+		EstMs:  req.EstMs,
+		XferMs: req.XferMs,
+		Run: func(ctx context.Context, p online.ProcID) error {
+			d := time.Duration(actual[p] / speed * float64(time.Millisecond))
+			if d <= 0 {
+				return nil
+			}
+			select {
+			case <-time.After(d):
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+	}, nil
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req taskRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	task, err := s.task(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	h, err := s.sched.SubmitCtx(r.Context(), task)
+	if err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, online.ErrClosed):
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, err)
+		return
+	}
+	// Don't pin the handler goroutine on an abandoned request: the task
+	// keeps running to completion either way, but a disconnected client
+	// releases this goroutine immediately.
+	var res online.Result
+	select {
+	case res = <-h.Done:
+	case <-r.Context().Done():
+		httpError(w, http.StatusServiceUnavailable, r.Context().Err())
+		return
+	}
+	resp := taskResponse{
+		Name:        req.Name,
+		Proc:        int(res.Proc),
+		Alt:         res.Alt,
+		SojournMs:   res.SojournMs,
+		QueueWaitMs: res.QueueWaitMs,
+	}
+	if res.Err != nil {
+		resp.Err = res.Err.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type graphRequest struct {
+	Tasks []graphTaskRequest `json:"tasks"`
+}
+
+type graphTaskRequest struct {
+	taskRequest
+	Deps []int `json:"deps,omitempty"`
+}
+
+type graphResponse struct {
+	ElapsedMs float64        `json:"elapsed_ms"`
+	Err       string         `json:"err,omitempty"`
+	Results   []taskResponse `json:"results"`
+}
+
+func (s *server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	var req graphRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	tasks := make([]online.GraphTask, len(req.Tasks))
+	for i, tr := range req.Tasks {
+		task, err := s.task(tr.taskRequest)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		tasks[i] = online.GraphTask{Task: task, Deps: tr.Deps}
+	}
+	start := time.Now()
+	h, err := s.sched.SubmitGraph(tasks)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, online.ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, err)
+		return
+	}
+	var res online.GraphResult
+	select {
+	case res = <-h.Done:
+	case <-r.Context().Done():
+		// The graph keeps executing; only the abandoned handler returns.
+		httpError(w, http.StatusServiceUnavailable, r.Context().Err())
+		return
+	}
+	resp := graphResponse{
+		ElapsedMs: durMs(time.Since(start)),
+		Results:   make([]taskResponse, len(res.Results)),
+	}
+	if res.Err != nil {
+		resp.Err = res.Err.Error()
+	}
+	for i, tr := range res.Results {
+		resp.Results[i] = taskResponse{
+			Name:        req.Tasks[i].Name,
+			Proc:        int(tr.Proc),
+			Alt:         tr.Alt,
+			SojournMs:   tr.SojournMs,
+			QueueWaitMs: tr.QueueWaitMs,
+		}
+		if tr.Err != nil {
+			resp.Results[i].Err = tr.Err.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Stats())
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"procs":     s.sched.NumProcs(),
+		"alpha":     s.sched.Alpha(),
+		"uptime_ms": durMs(time.Since(s.start)),
+	})
+}
+
+func durMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func main() {
+	var cfg config
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.IntVar(&cfg.procs, "procs", 4, "number of worker processors")
+	flag.Float64Var(&cfg.alpha, "alpha", 4, "flexibility factor α (>= 1)")
+	flag.IntVar(&cfg.queueLimit, "queue", online.DefaultQueueLimit, "admission queue bound (negative = unbounded)")
+	flag.Float64Var(&cfg.speed, "speed", 1, "divide simulated execution times by this factor")
+	flag.BoolVar(&cfg.autoTune, "autotune", false, "auto-tune α from observed alt-assignment regret")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful drain bound on shutdown")
+	flag.Parse()
+
+	srv, err := newServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("aptserve: listening on %s (procs=%d α=%g autotune=%v)", *addr, cfg.procs, cfg.alpha, cfg.autoTune)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("aptserve: draining (timeout %s)", cfg.drainTimeout)
+	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("aptserve: http shutdown: %v", err)
+	}
+	final, err := srv.drain(shutCtx)
+	if err != nil {
+		log.Printf("aptserve: drain: %v", err)
+	}
+	out, _ := json.Marshal(final)
+	fmt.Fprintf(os.Stderr, "aptserve: final stats %s\n", out)
+}

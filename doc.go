@@ -27,9 +27,19 @@
 // regret as the makespan paid purely for deciding on wrong estimates (see
 // README.md's robustness section).
 //
+// The serving layer carries the rule out of simulation: repro/online is a
+// sharded live scheduler that places real Go functions with Algorithm 1 —
+// a lock-free striped submit path, a bounded admission queue with
+// backpressure (ErrQueueFull / blocking SubmitCtx), SubmitGraph releasing
+// dependent tasks as predecessors finish, live sojourn and queueing-delay
+// percentiles, and optional α auto-tuning from observed regret — and
+// cmd/aptserve exposes it over HTTP/JSON (POST /submit, POST /graph,
+// GET /stats, GET /healthz) with graceful drain. The apt package
+// re-exports the live telemetry types (LiveStats, LiveLatency); see
+// docs/ARCHITECTURE.md for how the two runtimes share one data layer.
+//
 // The simulator, policies and paper experiment harness live under
 // repro/internal. The benchmarks in this directory regenerate every table
-// and figure of the thesis's evaluation chapter; see DESIGN.md for the
-// experiment index and EXPERIMENTS.md for paper-versus-measured results,
-// and README.md for the package map and quickstart.
+// and figure of the thesis's evaluation chapter; see docs/ARCHITECTURE.md
+// for the system map and README.md for the package map and quickstart.
 package repro

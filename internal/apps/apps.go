@@ -10,7 +10,7 @@
 // For the four applications whose kernels are not in the thesis's lookup
 // table (LavaMD, HotSpot, Backpropagation, FFT), the DFG is synthesised
 // from measured kernels of the same dwarfs, preserving the dwarf mix of
-// Table 1; DESIGN.md records the substitution.
+// Table 1; the substitution is noted here.
 package apps
 
 import (

@@ -12,7 +12,7 @@ import (
 // derivable from this repository's data structures. (Tables 2/4 are
 // definitional policy-property matrices, Table 3 is a five-row excerpt of
 // Table 14, and Table 6 cites the original hardware; none of those carry
-// reproducible computation, so they are documented in DESIGN.md instead.)
+// reproducible computation, so they are documented here instead.)
 
 // Table1 regenerates paper Table 1: application-to-dwarf membership.
 func (r *Runner) Table1() (*Artifact, error) {

@@ -7,7 +7,7 @@ import (
 
 // Golden regression values: the default-seed suite is fully deterministic,
 // so these exact cells must never drift. If an intentional model change
-// moves them, update the constants and record the change in EXPERIMENTS.md
+// moves them, update the constants and record the change in CHANGES.md
 // — a silent shift here means a behavioural regression somewhere in the
 // engine, the generators or a policy.
 

@@ -1,6 +1,14 @@
-// Package report renders the experiment harness's outputs: aligned text
-// tables (the paper's Tables), CSV/series data (the paper's Figures) and
-// text Gantt charts of individual schedules.
+// Package report renders the experiment harness's outputs in
+// terminal-and-file-friendly forms: aligned text tables (the paper's
+// Tables and the extension's latency/regret tables), CSV and ASCII-chart
+// series data (the paper's Figures, λ-vs-p99 curves, regret-vs-noise
+// sweeps), text Gantt charts and per-processor utilisation summaries of
+// individual schedules, self-contained HTML reports with inline-SVG bar
+// charts, and Chrome-trace JSON for chrome://tracing.
+//
+// Everything writes to an io.Writer and is deterministic for a given
+// input, so the sweep and experiment CLIs can diff their own output
+// byte-for-byte across reruns (CI does exactly that).
 package report
 
 import (

@@ -65,7 +65,7 @@ type Options struct {
 	// ready (and is invisible to dynamic policies) before ArrivalTimes[k],
 	// even if it has no dependencies. The thesis submits whole streams at
 	// t = 0; arrival pacing is this repository's extension for studying λ
-	// under realistic streaming (see EXPERIMENTS.md). Must be empty or have
+	// under realistic streaming. Must be empty or have
 	// exactly one non-negative entry per kernel. Successors should not be
 	// scheduled to arrive before predecessors; the engine tolerates it
 	// (readiness waits for both) but λ then includes the arrival skew.
@@ -76,7 +76,7 @@ type Options struct {
 	// prepared over the same graph and system. Nil means estimates are
 	// exact, the thesis's model. λ baselines (best-exec) come from the
 	// actual costs. This is the repository's extension for studying
-	// robustness to estimation error (see EXPERIMENTS.md).
+	// robustness to estimation error.
 	ActualCosts *Costs
 	// Degrade optionally injects dynamic platform degradation — processors
 	// slowing or going offline, links losing bandwidth — into the

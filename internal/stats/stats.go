@@ -1,6 +1,25 @@
-// Package stats provides the small statistical toolkit the thesis uses:
-// means, population standard deviations (paper Eq. 12), extrema and the
-// percentage-improvement metrics of §4.4 (Eq. 13–14).
+// Package stats is the repository's statistical toolkit, shared by the
+// simulator's latency accounting and the online scheduler's live
+// telemetry.
+//
+// Three layers, from exact to streaming:
+//
+//   - Scalar helpers over samples: Mean, StdDev (population, the thesis's
+//     λ standard deviation, Eq. 12), Sum, Min/Max/ArgMin, and the
+//     percentage-improvement metric of §4.4 (Eq. 13–14).
+//   - Exact order statistics: Quantile/Percentile interpolate between
+//     closest ranks, Summarize condenses a sample into a Summary
+//     (count/mean/std/extrema plus p50/p90/p95/p99). These retain and
+//     sort the full sample — right for per-run results.
+//   - Streaming distributions: Histogram accumulates samples in
+//     logarithmically spaced buckets, bounding relative quantile error by
+//     its growth factor at O(log(max/min)) memory. Histograms with equal
+//     growth Merge exactly, which is what lets the shards of a streaming
+//     run — and the per-processor telemetry of the live scheduler —
+//     aggregate latency distributions without retaining per-task samples.
+//
+// Every Summary-producing path defines the empty case as the zero value
+// (no ±Inf leaks into JSON output).
 package stats
 
 import "math"

@@ -1,11 +1,25 @@
-// Package workload generates the input streams the thesis evaluates on:
-// series of kernels drawn from a catalog of seven real kernels (Table 5),
-// arranged into DFG Type-1 (a wide parallel level plus one terminal kernel)
-// or DFG Type-2 (independent kernels, chains and three diamond-shaped
-// "kernel graph blocks").
+// Package workload generates every input the simulator is evaluated on.
 //
-// All generation is deterministic given a seed, so every experiment in this
-// repository is exactly reproducible.
+// The thesis's families: series of kernels drawn from a catalog of seven
+// real kernels (Table 5), arranged into DFG Type-1 (a wide parallel level
+// plus one terminal kernel) or DFG Type-2 (independent kernels, chains
+// and three diamond-shaped "kernel graph blocks").
+//
+// The repository's extensions beyond the thesis:
+//
+//   - Arrival shapes for open-system streaming: Poisson, periodic,
+//     bursty (Markov-modulated on/off), diurnal (sinusoidal rate) and
+//     trace replay, all pacing when each kernel becomes visible to the
+//     scheduler (sim.Options.ArrivalTimes).
+//   - Kernel streams: long multi-workload horizons sharded into windows
+//     for apt.RunStream.
+//   - Scale generators: BuildScaleLayered (bounded fan-in layered random
+//     DAGs, edges linear in kernels) and BuildForkJoin meshes up to 100k
+//     kernels, priced from the measured catalog so the cost model never
+//     extrapolates.
+//
+// All generation is deterministic given a seed, so every experiment in
+// this repository is exactly reproducible.
 package workload
 
 import (

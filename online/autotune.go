@@ -1,0 +1,119 @@
+package online
+
+import (
+	"fmt"
+	"math"
+)
+
+// AutoTuneConfig enables live adjustment of the flexibility factor α from
+// observed alternative-assignment regret.
+//
+// The signal: every alternative assignment records the ratio of the chosen
+// processor's estimated cost to the best processor's estimate (≥ 1 — how
+// much slower the task is expected to run for not waiting). Each window of
+// Every completions, the tuner compares the window's mean ratio against
+// TargetRegret:
+//
+//   - mean ratio above target — the threshold admits alternatives that are
+//     too much slower than waiting would have been; α is tightened
+//     (divided by Step).
+//   - mean ratio at or below target while tasks are waiting in the queue —
+//     the threshold is leaving processors idle that would have been
+//     acceptable; α is loosened (multiplied by Step).
+//
+// α stays within [MinAlpha, MaxAlpha]. The loop runs on the sweeper
+// goroutine, so tuning adds no synchronisation to the submit or completion
+// paths (the live α is a single atomic word).
+type AutoTuneConfig struct {
+	// TargetRegret is the acceptable mean chosen-cost/best-estimate ratio
+	// over a window, e.g. 1.5 = "alternatives may average 50% slower than
+	// the best estimate". Default 1.5; must be > 1.
+	TargetRegret float64
+	// Every is the number of completions between adjustments. Default 128.
+	Every int
+	// Step is the multiplicative adjustment per decision. Default 1.05;
+	// must be > 1.
+	Step float64
+	// MinAlpha and MaxAlpha bound the tuned α. Defaults 1 and 16.
+	MinAlpha, MaxAlpha float64
+}
+
+// withDefaults validates and fills in the zero fields; a nil receiver
+// (auto-tuning disabled) passes through.
+func (c *AutoTuneConfig) withDefaults(alpha float64) (*AutoTuneConfig, error) {
+	if c == nil {
+		return nil, nil
+	}
+	out := *c
+	if out.TargetRegret == 0 {
+		out.TargetRegret = 1.5
+	}
+	if out.Every == 0 {
+		out.Every = 128
+	}
+	if out.Step == 0 {
+		out.Step = 1.05
+	}
+	if out.MinAlpha == 0 {
+		out.MinAlpha = 1
+	}
+	if out.MaxAlpha == 0 {
+		out.MaxAlpha = 16
+	}
+	switch {
+	case out.TargetRegret <= 1:
+		return nil, fmt.Errorf("online: AutoTune.TargetRegret must be > 1, got %v", out.TargetRegret)
+	case out.Every < 0:
+		return nil, fmt.Errorf("online: AutoTune.Every must be >= 0, got %v", out.Every)
+	case out.Step <= 1:
+		return nil, fmt.Errorf("online: AutoTune.Step must be > 1, got %v", out.Step)
+	case out.MinAlpha < 1 || out.MaxAlpha < out.MinAlpha:
+		return nil, fmt.Errorf("online: AutoTune alpha bounds [%v, %v] invalid", out.MinAlpha, out.MaxAlpha)
+	case alpha < out.MinAlpha || alpha > out.MaxAlpha:
+		return nil, fmt.Errorf("online: initial alpha %v outside AutoTune bounds [%v, %v]", alpha, out.MinAlpha, out.MaxAlpha)
+	}
+	return &out, nil
+}
+
+// tuner is the sweeper-private state of the auto-tune loop: the cumulative
+// counters at the previous adjustment, for window deltas.
+type tuner struct {
+	lastCompleted int
+	lastAlt       int
+	lastRegret    float64
+}
+
+// maybeTune runs one adjustment decision if a full window of completions
+// has elapsed. Called only from the sweeper goroutine.
+func (tn *tuner) maybeTune(s *Scheduler) {
+	cfg := s.tune
+	if cfg == nil {
+		return
+	}
+	completed := int(s.completed.Load())
+	if completed-tn.lastCompleted < cfg.Every {
+		return
+	}
+	alt, regret := 0, 0.0
+	for p := range s.procs {
+		t := &s.procs[p].tele
+		t.mu.Lock()
+		alt += t.alt
+		regret += t.regretSum
+		t.mu.Unlock()
+	}
+	dAlt := alt - tn.lastAlt
+	dRegret := regret - tn.lastRegret
+	tn.lastCompleted, tn.lastAlt, tn.lastRegret = completed, alt, regret
+
+	alpha := s.Alpha()
+	switch {
+	case dAlt > 0 && dRegret/float64(dAlt) > cfg.TargetRegret:
+		alpha = math.Max(cfg.MinAlpha, alpha/cfg.Step)
+	case s.queued.Load() > 0:
+		alpha = math.Min(cfg.MaxAlpha, alpha*cfg.Step)
+	default:
+		return
+	}
+	s.alphaBits.Store(math.Float64bits(alpha))
+}

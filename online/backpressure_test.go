@@ -1,0 +1,159 @@
+package online
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fullScheduler returns a started scheduler whose single processor is
+// blocked and whose admission queue is filled to its limit, plus the
+// release channel for the blocker.
+func fullScheduler(t *testing.T, limit int) (*Scheduler, chan struct{}) {
+	t.Helper()
+	s, err := NewWithConfig(Config{Procs: 1, Alpha: 1, QueueLimit: limit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(s.Close)
+	blocker, started, release := blockingTask("blocker", []float64{1})
+	if _, err := s.Submit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	for i := 0; i < limit; i++ {
+		if _, err := s.Submit(Task{Name: "fill", EstMs: []float64{1}}); err != nil {
+			t.Fatalf("fill %d/%d: %v", i, limit, err)
+		}
+	}
+	return s, release
+}
+
+func TestSubmitQueueFull(t *testing.T) {
+	s, release := fullScheduler(t, 4)
+	defer close(release)
+	if _, err := s.Submit(Task{Name: "over", EstMs: []float64{1}}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit on full queue err = %v, want ErrQueueFull", err)
+	}
+	st := s.Stats()
+	if st.Rejected != 1 {
+		t.Errorf("Rejected = %d, want 1", st.Rejected)
+	}
+	if st.Queued != 4 {
+		t.Errorf("Queued = %d, want 4", st.Queued)
+	}
+}
+
+func TestSubmitCtxBlocksUntilSpace(t *testing.T) {
+	s, release := fullScheduler(t, 2)
+	submitted := make(chan error, 1)
+	go func() {
+		_, err := s.SubmitCtx(context.Background(), Task{Name: "waiter", EstMs: []float64{1}})
+		submitted <- err
+	}()
+	select {
+	case err := <-submitted:
+		t.Fatalf("SubmitCtx returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	close(release) // blocker finishes; the queue drains and space frees
+	if err := <-submitted; err != nil {
+		t.Fatalf("SubmitCtx after space freed: %v", err)
+	}
+}
+
+func TestSubmitCtxCancel(t *testing.T) {
+	s, release := fullScheduler(t, 2)
+	defer close(release)
+	ctx, cancel := context.WithCancel(context.Background())
+	submitted := make(chan error, 1)
+	go func() {
+		_, err := s.SubmitCtx(ctx, Task{Name: "cancelled", EstMs: []float64{1}})
+		submitted <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-submitted; !errors.Is(err, context.Canceled) {
+		t.Fatalf("SubmitCtx err = %v, want context.Canceled", err)
+	}
+	if st := s.Stats(); st.Rejected != 1 {
+		t.Errorf("Rejected = %d, want 1", st.Rejected)
+	}
+}
+
+func TestSubmitCtxUnblocksOnClose(t *testing.T) {
+	s, release := fullScheduler(t, 2)
+	defer close(release)
+	submitted := make(chan error, 1)
+	go func() {
+		_, err := s.SubmitCtx(context.Background(), Task{Name: "w", EstMs: []float64{1}})
+		submitted <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	go s.Close()
+	if err := <-submitted; !errors.Is(err, ErrClosed) {
+		t.Fatalf("SubmitCtx during Close err = %v, want ErrClosed", err)
+	}
+}
+
+func TestUnboundedQueue(t *testing.T) {
+	s, err := NewWithConfig(Config{Procs: 1, Alpha: 1, QueueLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Close()
+	blocker, started, release := blockingTask("b", []float64{1})
+	if _, err := s.Submit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	var handles []*Handle
+	for i := 0; i < 2*DefaultQueueLimit/512; i++ { // well past any small bound
+		h, err := s.Submit(Task{EstMs: []float64{1}})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		handles = append(handles, h)
+	}
+	close(release)
+	for _, h := range handles {
+		if res := <-h.Done; res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+}
+
+// TestBackpressureManyBlockedSubmitters exercises the space-broadcast path
+// under contention: many SubmitCtx callers blocked on a small queue all
+// complete once the processor starts draining.
+func TestBackpressureManyBlockedSubmitters(t *testing.T) {
+	s, release := fullScheduler(t, 2)
+	const waiters = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, err := s.SubmitCtx(context.Background(), Task{Name: "w", EstMs: []float64{1}})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if res := <-h.Done; res.Err != nil {
+				errs <- res.Err
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -8,13 +8,35 @@
 // estimated execution-plus-transfer cost stays within α times the best
 // estimate, otherwise keep it queued until the best processor frees up.
 //
+// The scheduler is built for sustained traffic from many submitters:
+//
+//   - The submit path is striped. When the system keeps up (nothing
+//     waiting), placement claims an idle processor with a single
+//     compare-and-swap and hands the task straight to that processor's run
+//     queue — no global lock is taken, so submit throughput scales with
+//     processor and submitter count.
+//   - Waiting tasks go to a bounded admission queue (per-stripe locks on
+//     the way in). Submit rejects with ErrQueueFull when the bound is hit;
+//     SubmitCtx blocks until space frees or the context is cancelled.
+//   - A single sweeper goroutine restores global FCFS order among waiters
+//     and re-applies the placement rule whenever processors free up.
+//     Completions coalesce into batched wakeups: however many tasks finish
+//     while a sweep is running, at most one more sweep is triggered.
+//   - SubmitGraph accepts a whole dependency graph (a DAG of tasks) and
+//     releases each task the moment its predecessors finish, using the
+//     same CSR adjacency the simulator's data layer uses.
+//   - Every task is stamped at arrival, execution start and finish;
+//     Stats reports sojourn (arrival → finish) and queueing-delay
+//     percentiles from mergeable per-processor histograms, plus an
+//     optionally auto-tuned α (see AutoTuneConfig).
+//
 // Typical use — a host process steering work between a CPU pool and
 // accelerator command queues, with per-device time estimates from past
 // profiling:
 //
-//	s := online.New(3, 4) // three processors, α = 4
+//	s, _ := online.New(3, 4) // three processors, α = 4
 //	s.Start()
-//	h := s.Submit(online.Task{
+//	h, _ := s.Submit(online.Task{
 //	    Name:  "matmul",
 //	    EstMs: []float64{260, 0.1, 9500}, // CPU, GPU, FPGA estimates
 //	    Run:   func(ctx context.Context, p online.ProcID) error { ... },
@@ -22,14 +44,22 @@
 //	res := <-h.Done
 //	s.Close()
 //
-// The scheduler is safe for concurrent Submit calls.
+// The scheduler is safe for concurrent Submit, SubmitCtx, SubmitGraph and
+// Stats calls. Close fails queued work; Drain finishes it first.
 package online
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
 )
 
 // ProcID indexes a processor (worker) of the scheduler.
@@ -59,6 +89,12 @@ type Result struct {
 	// Alt is true when the task ran on a non-optimal processor via the
 	// threshold rule.
 	Alt bool
+	// SojournMs is the measured arrival→finish latency and QueueWaitMs
+	// the arrival→execution-start delay, in milliseconds (for graph
+	// tasks, arrival is the moment the last dependency finished). Both
+	// are zero for tasks that never started.
+	SojournMs   float64
+	QueueWaitMs float64
 	// Err is the error returned by Run, or the scheduler's cancellation
 	// error.
 	Err error
@@ -70,225 +106,742 @@ type Handle struct {
 	Done <-chan Result
 }
 
-// Stats aggregates scheduler behaviour since Start.
+// LatencySummary condenses a latency distribution observed by the live
+// scheduler: counts, extrema and percentile estimates in milliseconds.
+// Percentiles come from mergeable log-bucketed histograms (one per
+// processor, merged on demand), so they carry the histograms' 5% relative
+// error bound but cost O(log range) memory regardless of traffic volume.
+type LatencySummary struct {
+	Count  int     `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	MinMs  float64 `json:"min_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// Stats aggregates scheduler behaviour since Start. After Close (or Drain)
+// returns, the snapshot is final: every later Stats call returns the same
+// values, published exactly once by the drain path.
 type Stats struct {
-	Submitted      int
-	Completed      int
-	AltAssignments int
-	PerProc        []int // tasks completed per processor
+	// Submitted counts accepted tasks (including graph-released ones);
+	// Rejected counts ErrQueueFull refusals and cancelled SubmitCtx waits.
+	Submitted int `json:"submitted"`
+	Completed int `json:"completed"`
+	Rejected  int `json:"rejected"`
+	// Queued is the number of tasks currently waiting for a processor.
+	Queued         int   `json:"queued"`
+	AltAssignments int   `json:"alt_assignments"`
+	PerProc        []int `json:"per_proc"` // tasks completed per processor
+	// Alpha is the current flexibility factor — the configured value, or
+	// the live one when auto-tuning is enabled.
+	Alpha float64 `json:"alpha"`
+	// Sojourn is the arrival→finish latency distribution; QueueWait the
+	// arrival→execution-start distribution.
+	Sojourn   LatencySummary `json:"sojourn"`
+	QueueWait LatencySummary `json:"queue_wait"`
 }
 
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("online: scheduler closed")
 
-// Scheduler dispatches tasks onto worker processors with the APT rule.
-type Scheduler struct {
-	alpha float64
-	np    int
+// ErrQueueFull is returned by Submit when the bounded admission queue is at
+// its limit. SubmitCtx blocks instead.
+var ErrQueueFull = errors.New("online: admission queue full")
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	pending []*pendingTask
-	busy    []bool
-	stats   Stats
-	closed  bool
-	ctx     context.Context
-	cancel  context.CancelFunc
-	wg      sync.WaitGroup
-	started bool
+// DefaultQueueLimit bounds the admission queue when Config.QueueLimit is 0.
+const DefaultQueueLimit = 4096
+
+// histGrowth is the per-bucket growth of the telemetry histograms: 5%
+// relative quantile error.
+const histGrowth = 1.05
+
+// Config parameterises a Scheduler beyond the New shorthand.
+type Config struct {
+	// Procs is the number of worker processors (required, > 0).
+	Procs int
+	// Alpha is the flexibility factor (>= 1; 1 reproduces MET's strict
+	// waiting). With AutoTune set it is only the starting value.
+	Alpha float64
+	// QueueLimit bounds how many tasks may wait for a processor at once:
+	// 0 means DefaultQueueLimit, negative means unbounded. Graph-internal
+	// releases (successors of finished tasks) are exempt — their graph was
+	// admitted as a unit.
+	QueueLimit int
+	// AutoTune, when non-nil, enables the live α adjustment loop.
+	AutoTune *AutoTuneConfig
 }
 
-type pendingTask struct {
-	task Task
-	done chan Result
+// Scheduler dispatches tasks onto worker processors with the APT rule.
+type Scheduler struct {
+	np     int
+	qlimit int
+	tune   *AutoTuneConfig
+
+	alphaBits atomic.Uint64 // float64 bits of the live α
+	seq       atomic.Uint64 // global submission order stamp
+	queued    atomic.Int64  // tasks waiting (stripes + pending)
+	inflight  atomic.Int64  // submit calls in progress (close gate)
+	submitted atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+	// settled counts tasks whose result has been fully delivered,
+	// including any graph successor releases the delivery triggered; Drain
+	// waits on settled == submitted, which completed alone cannot express
+	// (a completed task may still be about to release successors).
+	settled atomic.Int64
+	waiters atomic.Int64 // blocked SubmitCtx callers
+
+	// lifeMu serialises the Start/Close lifecycle transitions, so a Close
+	// racing Start can never observe started==true with the context and
+	// sweeper channel not yet assigned.
+	lifeMu   sync.Mutex
+	started  atomic.Bool
+	draining atomic.Bool // external admission stopped (Drain or Close)
+	closed   atomic.Bool // hard-closed: internal releases rejected too
+
+	stripes []stripe
+	smask   uint64
+	procs   []proc
+
+	wakeCh    chan struct{} // capacity 1: batched sweep wakeups
+	sweepDone chan struct{}
+
+	spaceMu sync.Mutex
+	spaceCh chan struct{} // closed and replaced to broadcast freed space
+
+	// pend is the sweeper's FCFS queue, ordered by seq. The mutex is only
+	// contended by Stats/Drain/tests — the hot submit path never touches
+	// it. scratch is merge workspace, cleared after every use.
+	pend struct {
+		mu      sync.Mutex
+		q       []*liveTask
+		scratch []*liveTask
+	}
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup // workers
+
+	tuner tuner
+
+	final atomic.Pointer[Stats] // published exactly once by the drain path
+}
+
+// stripe is one lane of the striped admission queue. Submitters pick a
+// lane by sequence number, so sustained traffic spreads lock acquisitions
+// across lanes instead of serialising on one mutex.
+type stripe struct {
+	mu sync.Mutex
+	q  []*liveTask
+	_  [32]byte // keep neighbouring stripes off one cache line
+}
+
+// proc is one worker processor: an idle/busy claim flag, a run queue the
+// placement path hands claimed tasks to, and single-writer telemetry.
+type proc struct {
+	busy atomic.Bool
+	runq chan *liveTask
+	tele telemetry
+	_    [32]byte
+}
+
+// telemetry is per-processor so recording needs no cross-processor
+// coordination; Stats merges the shards on demand (the histograms merge
+// exactly — see stats.Histogram).
+type telemetry struct {
+	mu        sync.Mutex
+	completed int
+	alt       int
+	regretSum float64 // Σ chosen-cost / best-estimate over alt assignments
+	sojourn   *stats.Histogram
+	qwait     *stats.Histogram
+}
+
+type liveTask struct {
+	task    Task
+	done    chan Result // capacity 1; nil for graph-internal tasks
+	onDone  func(Result)
+	seq     uint64
+	arrival time.Time
+	pmin    int
+	bestEst float64
+	alt     bool
+	ratio   float64 // chosen cost / best estimate (1 on the best proc)
 }
 
 // New returns a scheduler for numProcs processors with flexibility factor
-// alpha (alpha >= 1; 1 reproduces MET's strict waiting).
+// alpha (alpha >= 1; 1 reproduces MET's strict waiting) and the default
+// admission-queue bound.
 func New(numProcs int, alpha float64) (*Scheduler, error) {
-	if numProcs <= 0 {
-		return nil, fmt.Errorf("online: need at least one processor, got %d", numProcs)
+	return NewWithConfig(Config{Procs: numProcs, Alpha: alpha})
+}
+
+// NewWithConfig returns a scheduler for the given configuration.
+func NewWithConfig(cfg Config) (*Scheduler, error) {
+	if cfg.Procs <= 0 {
+		return nil, fmt.Errorf("online: need at least one processor, got %d", cfg.Procs)
 	}
-	if alpha < 1 {
-		return nil, fmt.Errorf("online: flexibility factor must be >= 1, got %v", alpha)
+	if cfg.Alpha < 1 || math.IsNaN(cfg.Alpha) || math.IsInf(cfg.Alpha, 0) {
+		return nil, fmt.Errorf("online: flexibility factor must be >= 1, got %v", cfg.Alpha)
+	}
+	tune, err := cfg.AutoTune.withDefaults(cfg.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	qlimit := cfg.QueueLimit
+	if qlimit == 0 {
+		qlimit = DefaultQueueLimit
+	}
+	ns := 4
+	for ns < cfg.Procs && ns < 64 {
+		ns <<= 1
 	}
 	s := &Scheduler{
-		alpha: alpha,
-		np:    numProcs,
-		busy:  make([]bool, numProcs),
+		np:      cfg.Procs,
+		qlimit:  qlimit,
+		tune:    tune,
+		stripes: make([]stripe, ns),
+		smask:   uint64(ns - 1),
+		procs:   make([]proc, cfg.Procs),
+		wakeCh:  make(chan struct{}, 1),
+		spaceCh: make(chan struct{}),
 	}
-	s.cond = sync.NewCond(&s.mu)
-	s.stats.PerProc = make([]int, numProcs)
+	s.alphaBits.Store(math.Float64bits(cfg.Alpha))
+	for i := range s.procs {
+		s.procs[i].runq = make(chan *liveTask, 1)
+		s.procs[i].tele.sojourn, _ = stats.NewHistogram(histGrowth)
+		s.procs[i].tele.qwait, _ = stats.NewHistogram(histGrowth)
+	}
 	return s, nil
 }
 
-// Start launches the dispatcher. It must be called once before Submit.
+// Alpha returns the current flexibility factor (live, if auto-tuning).
+func (s *Scheduler) Alpha() float64 {
+	return math.Float64frombits(s.alphaBits.Load())
+}
+
+// NumProcs returns the number of worker processors.
+func (s *Scheduler) NumProcs() int { return s.np }
+
+// Start launches the workers and the sweeper. It must be called once
+// before submitting. Starting an already-started or already-closed
+// scheduler is a no-op.
 func (s *Scheduler) Start() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.started {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if s.started.Load() || s.closed.Load() {
 		return
 	}
-	s.started = true
 	s.ctx, s.cancel = context.WithCancel(context.Background())
-	s.wg.Add(1)
-	go s.dispatch()
+	s.sweepDone = make(chan struct{})
+	s.wg.Add(s.np)
+	for p := 0; p < s.np; p++ {
+		go s.worker(p)
+	}
+	go s.sweeper()
+	s.started.Store(true)
 }
 
 // Submit queues a task and returns a handle delivering its Result. Tasks
 // are considered in submission order (first come, first serve), matching
-// the thesis's queue.
+// the thesis's queue; when nothing is waiting the task may be placed and
+// dispatched directly on the submit path. Submit fails fast with
+// ErrQueueFull when the admission queue is at its bound.
 func (s *Scheduler) Submit(t Task) (*Handle, error) {
+	lt, err := s.prepare(t, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.submitTask(lt, false); err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			s.rejected.Add(1)
+		}
+		return nil, err
+	}
+	return &Handle{Done: lt.done}, nil
+}
+
+// SubmitCtx is Submit with backpressure: when the admission queue is full
+// it blocks until space frees, the scheduler closes, or ctx is cancelled.
+func (s *Scheduler) SubmitCtx(ctx context.Context, t Task) (*Handle, error) {
+	lt, err := s.prepare(t, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Register as a waiter for the whole call and grab the broadcast
+	// channel before each attempt: any sweep that frees space after a
+	// failed attempt already sees waiters > 0 and closes the channel we
+	// hold, so the wakeup cannot be lost.
+	s.waiters.Add(1)
+	defer s.waiters.Add(-1)
+	for {
+		ch := s.spaceWait()
+		err := s.submitTask(lt, false)
+		if !errors.Is(err, ErrQueueFull) {
+			if err != nil {
+				return nil, err
+			}
+			return &Handle{Done: lt.done}, nil
+		}
+		select {
+		case <-ctx.Done():
+			s.rejected.Add(1)
+			return nil, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// prepare validates a task and precomputes its placement inputs.
+func (s *Scheduler) prepare(t Task, onDone func(Result)) (*liveTask, error) {
 	if len(t.EstMs) != s.np {
 		return nil, fmt.Errorf("online: task %q has %d estimates for %d processors", t.Name, len(t.EstMs), s.np)
 	}
+	pmin := 0
 	for p, e := range t.EstMs {
-		if e <= 0 {
+		if !(e > 0) { // rejects non-positive and NaN
 			return nil, fmt.Errorf("online: task %q has non-positive estimate %v on processor %d", t.Name, e, p)
+		}
+		if e < t.EstMs[pmin] {
+			pmin = p
 		}
 	}
 	if t.XferMs != nil && len(t.XferMs) != s.np {
 		return nil, fmt.Errorf("online: task %q has %d transfer estimates for %d processors", t.Name, len(t.XferMs), s.np)
 	}
-	done := make(chan Result, 1)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, ErrClosed
+	lt := &liveTask{task: t, onDone: onDone, pmin: pmin, bestEst: t.EstMs[pmin]}
+	if onDone == nil {
+		lt.done = make(chan Result, 1)
 	}
-	if !s.started {
-		return nil, fmt.Errorf("online: Submit before Start")
-	}
-	s.pending = append(s.pending, &pendingTask{task: t, done: done})
-	s.stats.Submitted++
-	s.cond.Signal()
-	return &Handle{Done: done}, nil
+	return lt, nil
 }
 
-// Close stops accepting work, cancels the run context passed to in-flight
-// tasks, fails queued tasks with ErrClosed, and waits for workers to exit.
-func (s *Scheduler) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		s.wg.Wait()
+// submitTask admits one prepared task: direct placement when nothing
+// waits, otherwise the admission queue. internal marks graph-released
+// tasks, which are admitted during Drain and bypass the queue bound.
+func (s *Scheduler) submitTask(lt *liveTask, internal bool) error {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.closed.Load() || (!internal && s.draining.Load()) {
+		return ErrClosed
+	}
+	if !s.started.Load() {
+		return fmt.Errorf("online: Submit before Start")
+	}
+	lt.seq = s.seq.Add(1)
+	lt.arrival = time.Now()
+	// Fast path: with an empty wait queue there is no FCFS order to
+	// preserve, so placement can claim a processor lock-free and bypass
+	// the sweeper entirely.
+	if s.queued.Load() == 0 {
+		if p, ok := s.tryPlace(lt); ok {
+			s.submitted.Add(1)
+			s.dispatch(lt, p)
+			return nil
+		}
+	}
+	// Count the task before the sweeper can see it: once enqueued it may
+	// be placed, run and settled at any moment, and Drain's quiescence
+	// check (settled == submitted) must never observe the settle first.
+	s.submitted.Add(1)
+	if err := s.enqueue(lt, !internal); err != nil {
+		s.submitted.Add(-1)
+		return err
+	}
+	return nil
+}
+
+// enqueue pushes a task onto its admission stripe, enforcing the queue
+// bound exactly (compare-and-swap, so concurrent submitters cannot
+// transiently overshoot and reject each other spuriously).
+func (s *Scheduler) enqueue(lt *liveTask, bounded bool) error {
+	if bounded && s.qlimit > 0 {
+		for {
+			n := s.queued.Load()
+			if n >= int64(s.qlimit) {
+				return ErrQueueFull
+			}
+			if s.queued.CompareAndSwap(n, n+1) {
+				break
+			}
+		}
+	} else {
+		s.queued.Add(1)
+	}
+	st := &s.stripes[lt.seq&s.smask]
+	st.mu.Lock()
+	st.q = append(st.q, lt)
+	st.mu.Unlock()
+	s.wake()
+	return nil
+}
+
+// tryPlace applies Algorithm 1 to one task against the live idle flags:
+// best processor if idle, else cheapest idle alternative within threshold.
+// Claims race lock-free: a failed compare-and-swap means another placement
+// won that processor, so the scan repeats against the shrunken idle set.
+func (s *Scheduler) tryPlace(lt *liveTask) (ProcID, bool) {
+	t := &lt.task
+	for attempt := 0; attempt <= s.np; attempt++ {
+		if s.claim(lt.pmin) {
+			lt.alt, lt.ratio = false, 1
+			return ProcID(lt.pmin), true
+		}
+		threshold := s.Alpha() * lt.bestEst
+		best, bestCost := -1, 0.0
+		for p := 0; p < s.np; p++ {
+			if p == lt.pmin || s.procs[p].busy.Load() {
+				continue
+			}
+			cost := t.EstMs[p]
+			if t.XferMs != nil {
+				cost += t.XferMs[p]
+			}
+			if cost <= threshold && (best < 0 || cost < bestCost) {
+				best, bestCost = p, cost
+			}
+		}
+		if best < 0 {
+			return 0, false
+		}
+		if s.claim(best) {
+			lt.alt, lt.ratio = true, bestCost/lt.bestEst
+			return ProcID(best), true
+		}
+	}
+	return 0, false
+}
+
+func (s *Scheduler) claim(p int) bool {
+	return s.procs[p].busy.CompareAndSwap(false, true)
+}
+
+// dispatch hands a claimed task to its processor's run queue. The claim
+// protocol guarantees at most one outstanding task per processor, so the
+// capacity-1 send never blocks.
+func (s *Scheduler) dispatch(lt *liveTask, p ProcID) {
+	s.procs[p].runq <- lt
+}
+
+// wake triggers a sweep; concurrent wakes while one is pending coalesce.
+func (s *Scheduler) wake() {
+	select {
+	case s.wakeCh <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Scheduler) spaceWait() <-chan struct{} {
+	s.spaceMu.Lock()
+	ch := s.spaceCh
+	s.spaceMu.Unlock()
+	return ch
+}
+
+func (s *Scheduler) spaceBroadcast() {
+	s.spaceMu.Lock()
+	close(s.spaceCh)
+	s.spaceCh = make(chan struct{})
+	s.spaceMu.Unlock()
+}
+
+// sweeper serialises waiting-queue decisions: it restores global FCFS
+// order across stripes and re-applies the placement rule after batches of
+// completions. On shutdown it fails everything still waiting.
+func (s *Scheduler) sweeper() {
+	defer close(s.sweepDone)
+	for {
+		select {
+		case <-s.wakeCh:
+			// closed is set before the context is cancelled, so a wakeup
+			// racing Close cannot launch tasks the close path is about to
+			// fail (Drain only sets draining; sweeping continues).
+			if s.closed.Load() {
+				s.failPending()
+				return
+			}
+			s.sweep()
+			s.tuner.maybeTune(s)
+		case <-s.ctx.Done():
+			s.failPending()
+			return
+		}
+	}
+}
+
+// sweep drains the stripes into the FCFS queue and walks it in submission
+// order, dispatching every task the placement rule admits right now.
+func (s *Scheduler) sweep() {
+	s.pend.mu.Lock()
+	q := s.gatherLocked()
+	w, placed := 0, 0
+	for i := 0; i < len(q); i++ {
+		lt := q[i]
+		if p, ok := s.tryPlace(lt); ok {
+			s.dispatch(lt, p)
+			placed++
+			continue
+		}
+		q[w] = lt
+		w++
+	}
+	// Nil the vacated tail so the backing array keeps no *liveTask (and
+	// captured closures) reachable after dispatch.
+	for i := w; i < len(q); i++ {
+		q[i] = nil
+	}
+	s.pend.q = q[:w]
+	s.pend.mu.Unlock()
+	if placed > 0 {
+		s.queued.Add(int64(-placed))
+		if s.waiters.Load() > 0 {
+			s.spaceBroadcast()
+		}
+	}
+}
+
+// gatherLocked moves every stripe's tasks into the pending queue and
+// restores global submission order by sequence stamp. Only the newly
+// gathered batch is sorted; a surviving backlog is already ordered from
+// the previous sweep and is merged in O(backlog + batch), so a large
+// standing queue does not pay a full re-sort per sweep.
+func (s *Scheduler) gatherLocked() []*liveTask {
+	q := s.pend.q
+	n0 := len(q)
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		if len(st.q) > 0 {
+			q = append(q, st.q...)
+			for j := range st.q {
+				st.q[j] = nil
+			}
+			st.q = st.q[:0]
+		}
+		st.mu.Unlock()
+	}
+	batch := q[n0:]
+	if len(batch) == 0 {
+		return q
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].seq < batch[j].seq })
+	if n0 == 0 || q[n0-1].seq < batch[0].seq {
+		// Whole batch is newer than the backlog — already in order.
+		return q
+	}
+	// Merge the two sorted runs backwards, with the batch copied out so
+	// the merge can write in place.
+	scratch := append(s.pend.scratch[:0], batch...)
+	i, j, w := n0-1, len(scratch)-1, len(q)-1
+	for j >= 0 {
+		if i >= 0 && q[i].seq > scratch[j].seq {
+			q[w] = q[i]
+			i--
+		} else {
+			q[w] = scratch[j]
+			j--
+		}
+		w--
+	}
+	for k := range scratch {
+		scratch[k] = nil
+	}
+	s.pend.scratch = scratch[:0]
+	return q
+}
+
+// failPending delivers ErrClosed to every waiting task at shutdown.
+func (s *Scheduler) failPending() {
+	s.pend.mu.Lock()
+	q := s.gatherLocked()
+	s.pend.q = nil
+	s.pend.mu.Unlock()
+	if len(q) == 0 {
 		return
 	}
-	s.closed = true
-	if s.cancel != nil {
-		s.cancel()
+	s.queued.Add(int64(-len(q)))
+	for _, lt := range q {
+		s.deliver(lt, Result{Task: lt.task, Proc: -1, Err: ErrClosed})
 	}
-	for _, pt := range s.pending {
-		pt.done <- Result{Task: pt.task, Proc: -1, Err: ErrClosed}
-	}
-	s.pending = nil
-	s.cond.Broadcast()
-	s.mu.Unlock()
-	s.wg.Wait()
+	s.spaceBroadcast()
 }
 
-// Stats returns a snapshot of the scheduler's counters.
+func (s *Scheduler) deliver(lt *liveTask, res Result) {
+	if lt.done != nil {
+		lt.done <- res
+	}
+	if lt.onDone != nil {
+		lt.onDone(res)
+	}
+	s.settled.Add(1)
+}
+
+// worker runs one processor: receive a claimed task, execute it, record
+// telemetry, release the claim and trigger a sweep.
+func (s *Scheduler) worker(p int) {
+	defer s.wg.Done()
+	pr := &s.procs[p]
+	for lt := range pr.runq {
+		start := time.Now()
+		var err error
+		if lt.task.Run != nil {
+			err = lt.task.Run(s.ctx, ProcID(p))
+		}
+		finish := time.Now()
+		sojourn := durMs(finish.Sub(lt.arrival))
+		qwait := durMs(start.Sub(lt.arrival))
+		t := &pr.tele
+		t.mu.Lock()
+		t.completed++
+		if lt.alt {
+			t.alt++
+			t.regretSum += lt.ratio
+		}
+		t.sojourn.Add(sojourn)
+		t.qwait.Add(qwait)
+		t.mu.Unlock()
+		s.completed.Add(1)
+		pr.busy.Store(false)
+		s.wake()
+		s.deliver(lt, Result{
+			Task: lt.task, Proc: ProcID(p), Alt: lt.alt,
+			SojournMs: sojourn, QueueWaitMs: qwait, Err: err,
+		})
+	}
+}
+
+func durMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Close stops accepting work, cancels the run context passed to in-flight
+// tasks, fails queued tasks with ErrClosed, waits for workers to exit and
+// publishes the final Stats snapshot. It is idempotent.
+func (s *Scheduler) Close() {
+	s.shutdown()
+}
+
+// Drain gracefully quiesces the scheduler: it stops accepting external
+// work immediately (graph successors keep releasing), waits until every
+// admitted task has finished or ctx expires, then closes. On timeout the
+// remaining tasks fail with ErrClosed and ctx's error is returned.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	if !s.started.Load() {
+		return fmt.Errorf("online: Drain before Start")
+	}
+	s.draining.Store(true)
+	s.spaceBroadcast() // wake SubmitCtx waiters so they observe the close
+	// Let racing Submit calls settle so the quiescence condition below
+	// cannot miss a task admitted concurrently with the drain request.
+	for s.inflight.Load() != 0 {
+		runtime.Gosched()
+	}
+	var err error
+poll:
+	for s.settled.Load() < s.submitted.Load() {
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+			break poll
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+	s.shutdown()
+	return err
+}
+
+// shutdown is the single exit path shared by Close and Drain.
+func (s *Scheduler) shutdown() {
+	s.lifeMu.Lock()
+	if !s.started.Load() {
+		// Never started: nothing is running; just refuse future work
+		// (including a later Start, which checks closed).
+		s.draining.Store(true)
+		s.closed.Store(true)
+		s.lifeMu.Unlock()
+		return
+	}
+	first := s.closed.CompareAndSwap(false, true)
+	s.lifeMu.Unlock()
+	if first {
+		s.draining.Store(true)
+		s.spaceBroadcast()
+		// Wait out in-progress submit calls: after this, nobody but the
+		// sweeper can hand tasks to run queues.
+		for s.inflight.Load() != 0 {
+			runtime.Gosched()
+		}
+		s.cancel()
+		<-s.sweepDone
+		for p := range s.procs {
+			close(s.procs[p].runq)
+		}
+		s.wg.Wait()
+		snap := s.snapshot()
+		s.final.Store(&snap)
+	} else {
+		// Concurrent or repeated Close: wait for the first one to finish.
+		<-s.sweepDone
+		s.wg.Wait()
+		for s.final.Load() == nil {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Stats returns a snapshot of the scheduler's counters and latency
+// distributions. After Close it returns the final snapshot, identical on
+// every call.
 func (s *Scheduler) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := s.stats
-	out.PerProc = append([]int(nil), s.stats.PerProc...)
+	if f := s.final.Load(); f != nil {
+		return f.clone()
+	}
+	return s.snapshot()
+}
+
+func (st *Stats) clone() Stats {
+	out := *st
+	out.PerProc = append([]int(nil), st.PerProc...)
 	return out
 }
 
-// dispatch is the scheduler loop: whenever the pending queue or processor
-// availability changes, sweep the queue with the APT rule.
-func (s *Scheduler) dispatch() {
-	defer s.wg.Done()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for {
-		if s.closed {
-			return
-		}
-		progress := s.sweepLocked()
-		if !progress {
-			s.cond.Wait()
-		}
+// snapshot merges the per-processor telemetry shards into one Stats.
+func (s *Scheduler) snapshot() Stats {
+	out := Stats{
+		Submitted: int(s.submitted.Load()),
+		Completed: int(s.completed.Load()),
+		Rejected:  int(s.rejected.Load()),
+		Queued:    int(s.queued.Load()),
+		Alpha:     s.Alpha(),
+		PerProc:   make([]int, s.np),
 	}
+	soj, _ := stats.NewHistogram(histGrowth)
+	qw, _ := stats.NewHistogram(histGrowth)
+	for p := range s.procs {
+		t := &s.procs[p].tele
+		t.mu.Lock()
+		out.PerProc[p] = t.completed
+		out.AltAssignments += t.alt
+		_ = soj.Merge(t.sojourn)
+		_ = qw.Merge(t.qwait)
+		t.mu.Unlock()
+	}
+	out.Sojourn = latencySummary(soj)
+	out.QueueWait = latencySummary(qw)
+	return out
 }
 
-// sweepLocked walks the pending queue in order, launching every task the
-// APT rule allows right now. Returns whether anything launched.
-func (s *Scheduler) sweepLocked() bool {
-	launched := false
-	for i := 0; i < len(s.pending); {
-		pt := s.pending[i]
-		proc, alt, ok := s.placeLocked(pt.task)
-		if !ok {
-			i++
-			continue
-		}
-		// Remove in place and nil the vacated tail slot: a plain
-		// append(s.pending[:i], s.pending[i+1:]...) keeps the last
-		// *pendingTask pointer alive in the backing array, so under
-		// sustained traffic completed tasks (and the closures their Run
-		// fields capture) would never be collected.
-		last := len(s.pending) - 1
-		copy(s.pending[i:], s.pending[i+1:])
-		s.pending[last] = nil
-		s.pending = s.pending[:last]
-		s.busy[proc] = true
-		if alt {
-			s.stats.AltAssignments++
-		}
-		s.wg.Add(1)
-		go s.runTask(pt, proc, alt)
-		launched = true
+func latencySummary(h *stats.Histogram) LatencySummary {
+	sum := h.Summary()
+	return LatencySummary{
+		Count:  sum.Count,
+		MeanMs: sum.Mean,
+		MinMs:  sum.Min,
+		MaxMs:  sum.Max,
+		P50Ms:  sum.P50,
+		P90Ms:  sum.P90,
+		P95Ms:  sum.P95,
+		P99Ms:  sum.P99,
 	}
-	return launched
-}
-
-// placeLocked applies Algorithm 1 to one task: best processor if idle,
-// else cheapest idle alternative within threshold.
-func (s *Scheduler) placeLocked(t Task) (ProcID, bool, bool) {
-	pmin := 0
-	for p := 1; p < s.np; p++ {
-		if t.EstMs[p] < t.EstMs[pmin] {
-			pmin = p
-		}
-	}
-	if !s.busy[pmin] {
-		return ProcID(pmin), false, true
-	}
-	threshold := s.alpha * t.EstMs[pmin]
-	best := -1
-	bestCost := 0.0
-	for p := 0; p < s.np; p++ {
-		if s.busy[p] || p == pmin {
-			continue
-		}
-		cost := t.EstMs[p]
-		if t.XferMs != nil {
-			cost += t.XferMs[p]
-		}
-		if cost <= threshold && (best < 0 || cost < bestCost) {
-			best, bestCost = p, cost
-		}
-	}
-	if best < 0 {
-		return -1, false, false
-	}
-	return ProcID(best), true, true
-}
-
-// runTask executes one task on its processor and frees it afterwards.
-func (s *Scheduler) runTask(pt *pendingTask, proc ProcID, alt bool) {
-	defer s.wg.Done()
-	var err error
-	if pt.task.Run != nil {
-		err = pt.task.Run(s.ctx, proc)
-	}
-	s.mu.Lock()
-	s.busy[proc] = false
-	s.stats.Completed++
-	s.stats.PerProc[proc]++
-	s.cond.Broadcast()
-	s.mu.Unlock()
-	pt.done <- Result{Task: pt.task, Proc: proc, Alt: alt, Err: err}
 }

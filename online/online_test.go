@@ -310,15 +310,46 @@ func TestSweepDoesNotRetainCompletedTasks(t *testing.T) {
 	for _, h := range handles {
 		<-h.Done
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.pending) != 0 {
-		t.Fatalf("pending length = %d after drain, want 0", len(s.pending))
+	s.pend.mu.Lock()
+	defer s.pend.mu.Unlock()
+	if len(s.pend.q) != 0 {
+		t.Fatalf("pending length = %d after drain, want 0", len(s.pend.q))
 	}
-	spare := s.pending[:cap(s.pending)]
+	spare := s.pend.q[:cap(s.pend.q)]
 	for i, pt := range spare {
 		if pt != nil {
 			t.Errorf("backing array slot %d still retains task %q after completion", i, pt.task.Name)
+		}
+	}
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for j, pt := range st.q[:cap(st.q)] {
+			if pt != nil {
+				t.Errorf("stripe %d slot %d still retains task %q", i, j, pt.task.Name)
+			}
+		}
+		st.mu.Unlock()
+	}
+}
+
+// TestStartCloseRace pins the lifecycle serialisation: Close racing Start
+// must neither panic on an unassigned context nor hang on the sweeper
+// channel, whichever side wins.
+func TestStartCloseRace(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		s, err := New(2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); s.Start() }()
+		go func() { defer wg.Done(); s.Close() }()
+		wg.Wait()
+		s.Close() // idempotent regardless of which side won
+		if _, err := s.Submit(Task{EstMs: []float64{1, 1}}); err == nil {
+			t.Fatal("Submit accepted after Close")
 		}
 	}
 }
