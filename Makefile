@@ -5,15 +5,24 @@
 # allocs/op snapshots that future PRs can gate against). Keep this filter
 # in sync with the bench-regression job's -bench pattern.
 BENCH_FILTER ?= BenchmarkRun|BenchmarkEngineRun|BenchmarkStreamRunner|BenchmarkScale|BenchmarkSweep|BenchmarkBatchSweep|BenchmarkOnlineSubmit
-BENCH_RECORD ?= BENCH_PR4.json
+BENCH_RECORD ?= BENCH_PR6.json
 
-.PHONY: test build vet bench bench-record
+.PHONY: test build vet lint bench bench-record
 
 build:
 	go build ./...
 
 vet:
 	go vet ./...
+
+# lint runs the full static gate: formatting, go vet, then the repo's own
+# analyzer suite (determinism, hotpath, concurrency, floatcmp — see
+# ci/lint). CI's lint job runs exactly this target.
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+	go vet ./...
+	go run ./ci/lint ./...
 
 test:
 	go test ./...

@@ -61,7 +61,7 @@ func (n Noise) memoKey() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%d|%g|%d", int(n.Model), n.Frac, n.Seed)
 	kinds := make([]string, 0, len(n.Bias))
-	for k := range n.Bias {
+	for k := range n.Bias { //lint:ordered — collected then sorted just below
 		kinds = append(kinds, string(k))
 	}
 	sort.Strings(kinds)
@@ -76,7 +76,7 @@ func (n Noise) internal() perturb.Noise {
 	out := perturb.Noise{Model: perturb.NoiseModel(n.Model), Frac: n.Frac, Seed: n.Seed}
 	if len(n.Bias) > 0 {
 		out.Bias = make(map[platform.Kind]float64, len(n.Bias))
-		for k, v := range n.Bias {
+		for k, v := range n.Bias { //lint:ordered — per-key map copy; writes are independent
 			out.Bias[platform.Kind(k)] = v
 		}
 	}

@@ -262,10 +262,10 @@ func (r *Result) EnergyJ(model *PowerModel) (float64, error) {
 	pm := platform.DefaultPowerModel()
 	if model != nil {
 		pm = platform.PowerModel{ActiveW: map[platform.Kind]float64{}, IdleW: map[platform.Kind]float64{}}
-		for k, v := range model.ActiveW {
+		for k, v := range model.ActiveW { //lint:ordered — per-key map copy; writes are independent
 			pm.ActiveW[platform.Kind(k)] = v
 		}
-		for k, v := range model.IdleW {
+		for k, v := range model.IdleW { //lint:ordered — per-key map copy; writes are independent
 			pm.IdleW[platform.Kind(k)] = v
 		}
 	}

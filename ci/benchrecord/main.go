@@ -109,13 +109,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if len(samples) == 0 {
-		fmt.Fprintln(os.Stderr, "benchrecord: no benchmarks found in input")
+	doc, n, err := render(samples)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
+	if *out == "" {
+		fmt.Print(doc)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(doc), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("benchrecord: wrote %d benchmarks to %s\n", n, *out)
+}
+
+// render converts accumulated samples into the sorted, averaged JSON
+// record and reports how many benchmarks it carries.
+func render(samples map[string]*sample) (string, int, error) {
+	if len(samples) == 0 {
+		return "", 0, fmt.Errorf("benchrecord: no benchmarks found in input")
+	}
+
 	records := map[string]Record{}
-	for name, s := range samples {
+	for name, s := range samples { //lint:ordered — per-key transform; output is sorted below
 		if s.nsN == 0 {
 			continue
 		}
@@ -130,7 +149,7 @@ func main() {
 	}
 
 	names := make([]string, 0, len(records))
-	for name := range records {
+	for name := range records { //lint:ordered — collected then sorted just below
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -142,8 +161,7 @@ func main() {
 	for i, name := range names {
 		b, err := json.Marshal(records[name])
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return "", 0, err
 		}
 		fmt.Fprintf(&sb, "  %q: %s", name, b)
 		if i < len(names)-1 {
@@ -152,14 +170,5 @@ func main() {
 		sb.WriteString("\n")
 	}
 	sb.WriteString("}\n")
-
-	if *out == "" {
-		fmt.Print(sb.String())
-		return
-	}
-	if err := os.WriteFile(*out, []byte(sb.String()), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	fmt.Printf("benchrecord: wrote %d benchmarks to %s\n", len(names), *out)
+	return sb.String(), len(names), nil
 }

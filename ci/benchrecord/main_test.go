@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// benchOutput is canned `go test -bench -benchmem -count 3` output: three
+// repetitions of two benchmarks (the multi-sample case bench-record
+// actually produces), one single-sample benchmark without -benchmem
+// columns, plus the surrounding noise lines the parser must skip.
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Imaginary CPU @ 3.00GHz
+BenchmarkRunWarm-8   	   43000	     27600 ns/op	     120 B/op	       4 allocs/op
+BenchmarkRunWarm-8   	   43210	     27800 ns/op	     124 B/op	       4 allocs/op
+BenchmarkRunWarm-8   	   42900	     27000 ns/op	     122 B/op	       4 allocs/op
+BenchmarkOnlineSubmit/procs=4-8 	 1276381	       941.5 ns/op	     312 B/op	       4 allocs/op
+BenchmarkOnlineSubmit/procs=4-8 	 1269000	       938.5 ns/op	     312 B/op	       4 allocs/op
+BenchmarkOnlineSubmit/procs=4-8 	 1280122	       946.1 ns/op	     314 B/op	       4 allocs/op
+BenchmarkScale100k-8 	       4	 330000000 ns/op
+PASS
+ok  	repro	42.017s
+`
+
+// golden is the exact record render wants for benchOutput: sorted by
+// name, metrics averaged over the repetitions and rounded to one decimal.
+const golden = `{
+  "BenchmarkOnlineSubmit/procs=4-8": {"ns_per_op":942,"b_per_op":312.7,"allocs_per_op":4,"count":3},
+  "BenchmarkRunWarm-8": {"ns_per_op":27466.7,"b_per_op":122,"allocs_per_op":4,"count":3},
+  "BenchmarkScale100k-8": {"ns_per_op":330000000,"count":1}
+}
+`
+
+func TestParseAndRenderGolden(t *testing.T) {
+	samples, err := parse(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(samples))
+	}
+	warm := samples["BenchmarkRunWarm-8"]
+	if warm == nil || warm.nsN != 3 {
+		t.Fatalf("BenchmarkRunWarm-8: want 3 ns/op samples, got %+v", warm)
+	}
+
+	doc, n, err := render(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("render reported %d benchmarks, want 3", n)
+	}
+	if doc != golden {
+		t.Errorf("record mismatch:\n got: %s\nwant: %s", doc, golden)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	a, _, err := parseRender(benchOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := parseRender(benchOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("two renders of the same input differ")
+	}
+}
+
+func parseRender(in string) (string, int, error) {
+	samples, err := parse(strings.NewReader(in))
+	if err != nil {
+		return "", 0, err
+	}
+	return render(samples)
+}
+
+func TestParseRejectsBadValue(t *testing.T) {
+	_, err := parse(strings.NewReader("BenchmarkX-8  12  oops ns/op\n"))
+	if err == nil {
+		t.Error("malformed ns/op value accepted")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if _, _, err := render(map[string]*sample{}); err == nil {
+		t.Error("empty sample set accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package plus the diagnostic
+// sink. Analyzers report through Reportf; the driver collects and sorts.
+type Pass struct {
+	Pkg   *Package
+	diags []Diagnostic
+
+	// directives maps file -> line -> the set of //lint: directive names
+	// present on that line (e.g. "ordered" for //lint:ordered).
+	directives map[*ast.File]map[int]map[string]bool
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func runAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
+	p := &Pass{Pkg: pkg}
+	a.Run(p)
+	for i := range p.diags {
+		p.diags[i].Analyzer = a.Name
+	}
+	return p.diags
+}
+
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressed reports whether a //lint:<name> directive comment sits on the
+// node's own line or on the line immediately above it in the same file.
+func (p *Pass) suppressed(file *ast.File, pos token.Pos, name string) bool {
+	if p.directives == nil {
+		p.directives = map[*ast.File]map[int]map[string]bool{}
+	}
+	lines, ok := p.directives[file]
+	if !ok {
+		lines = map[int]map[string]bool{}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, found := strings.CutPrefix(c.Text, "//lint:")
+				if !found {
+					continue
+				}
+				directive, _, _ := strings.Cut(rest, " ")
+				line := p.Pkg.Fset.Position(c.Pos()).Line
+				if lines[line] == nil {
+					lines[line] = map[string]bool{}
+				}
+				lines[line][directive] = true
+			}
+		}
+		p.directives[file] = lines
+	}
+	line := p.Pkg.Fset.Position(pos).Line
+	return lines[line][name] || lines[line-1][name]
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes, or
+// nil for builtins, conversions and calls through function values.
+func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// pkgPathOf returns the import path of the package a function belongs to
+// ("" for builtins and error.Error etc.).
+func pkgPathOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isFloat reports whether t's core type is a floating-point scalar.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// declaredWithin reports whether obj's declaration lies inside [lo, hi].
+// Objects with no position (predeclared identifiers) count as outer.
+func declaredWithin(obj types.Object, lo, hi token.Pos) bool {
+	if obj == nil || !obj.Pos().IsValid() {
+		return false
+	}
+	return obj.Pos() >= lo && obj.Pos() <= hi
+}
+
+// rootIdent walks to the base identifier of an lvalue-ish expression:
+// x, x.f, x[i], *x, x.f[i].g all root at x. Returns nil when the root is
+// not a plain identifier (e.g. a call result).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

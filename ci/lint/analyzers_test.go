@@ -1,0 +1,8 @@
+package main
+
+import "testing"
+
+func TestDeterminismAnalyzer(t *testing.T) { runTestdata(t, determinism, "testdata/determinism") }
+func TestHotpathAnalyzer(t *testing.T)     { runTestdata(t, hotpath, "testdata/hotpath") }
+func TestConcurrencyAnalyzer(t *testing.T) { runTestdata(t, concurrency, "testdata/concurrency") }
+func TestFloatcmpAnalyzer(t *testing.T)    { runTestdata(t, floatcmp, "testdata/floatcmp") }

@@ -1,0 +1,47 @@
+package main
+
+// The Makefile's BENCH_FILTER (what bench-record snapshots into
+// BENCH_PR<N>.json) and the CI bench-regression job's -bench patterns
+// (what the merge-base gate actually measures) must select the same
+// benchmark set, or the perf trajectory silently diverges from the gate.
+// That sync used to be a comment-only convention; this test enforces it.
+
+import (
+	"os"
+	"regexp"
+	"testing"
+)
+
+var (
+	makefileFilterRE = regexp.MustCompile(`(?m)^BENCH_FILTER\s*\?=\s*(\S+)\s*$`)
+	ciBenchRE        = regexp.MustCompile(`-bench '([^']+)'`)
+)
+
+func TestBenchFilterSync(t *testing.T) {
+	makefile, err := os.ReadFile("../../Makefile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := makefileFilterRE.FindSubmatch(makefile)
+	if m == nil {
+		t.Fatal("Makefile has no BENCH_FILTER ?= line")
+	}
+	filter := string(m[1])
+
+	ci, err := os.ReadFile("../../.github/workflows/ci.yml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quoted -bench patterns are the regression job's (head run and
+	// merge-base run); the unquoted smoke `-bench .` is intentionally out
+	// of scope.
+	patterns := ciBenchRE.FindAllSubmatch(ci, -1)
+	if len(patterns) < 2 {
+		t.Fatalf("found %d quoted -bench patterns in ci.yml, want the bench-regression job's 2", len(patterns))
+	}
+	for _, p := range patterns {
+		if got := string(p[1]); got != filter {
+			t.Errorf("ci.yml -bench pattern out of sync with Makefile BENCH_FILTER:\n  ci.yml:   %s\n  Makefile: %s", got, filter)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// concurrency enforces two hygiene rules that go vet's copylocks only
+// partially covers and the race detector only catches when a test
+// happens to interleave:
+//
+//  1. No struct carrying sync.Mutex/RWMutex/WaitGroup/Once/Cond/Map/Pool
+//     or sync/atomic state may be passed or returned by value — the copy
+//     silently forks the lock or counter from the state it guards.
+//  2. A variable or field updated through sync/atomic anywhere in the
+//     package must never also be read or written plainly: the plain
+//     access races with the atomic one, and on 32-bit targets may tear.
+var concurrency = &Analyzer{
+	Name: "concurrency",
+	Doc:  "forbid by-value transport of lock-bearing structs and mixed atomic/plain access",
+	Run:  runConcurrency,
+}
+
+func runConcurrency(p *Pass) {
+	p.checkByValueSyncTransport()
+	p.checkMixedAtomicAccess()
+}
+
+// checkByValueSyncTransport flags function parameters, results and
+// receivers whose type carries synchronization state by value.
+func (p *Pass) checkByValueSyncTransport() {
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, _ := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			sig := obj.Signature()
+			check := func(v *types.Var, kind string) {
+				if v == nil {
+					return
+				}
+				if tn := syncStateIn(v.Type(), nil); tn != "" {
+					pos := v.Pos()
+					if !pos.IsValid() {
+						pos = fd.Pos()
+					}
+					who := kind
+					if v.Name() != "" {
+						who = fmt.Sprintf("%s %q", kind, v.Name())
+					}
+					p.Reportf(pos, "%s of %s carries %s by value (copies the lock away from the state it guards; pass a pointer)", who, fd.Name.Name, tn)
+				}
+			}
+			check(sig.Recv(), "receiver")
+			for i := 0; i < sig.Params().Len(); i++ {
+				check(sig.Params().At(i), "parameter")
+			}
+			for i := 0; i < sig.Results().Len(); i++ {
+				check(sig.Results().At(i), "result")
+			}
+		}
+	}
+}
+
+// syncStateIn returns the name of a sync/sync-atomic type reachable from
+// t without an indirection (struct fields, array elements), or "".
+func syncStateIn(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync", "sync/atomic":
+				// Every struct type in these packages (Mutex, WaitGroup,
+				// atomic.Int64, atomic.Value, ...) pins its identity; the
+				// interfaces (sync.Locker) are fine by value.
+				if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+					return obj.Pkg().Path() + "." + obj.Name()
+				}
+				return ""
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := syncStateIn(u.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return syncStateIn(u.Elem(), seen)
+	}
+	return ""
+}
+
+// checkMixedAtomicAccess cross-references every `&x` handed to a
+// sync/atomic call with every other use of the same variable or field in
+// the package, and flags the plain ones.
+func (p *Pass) checkMixedAtomicAccess() {
+	atomicVars := map[types.Object]bool{} // vars/fields accessed via sync/atomic
+	sanctioned := map[*ast.Ident]bool{}   // idents appearing inside &x atomic args
+
+	record := func(arg ast.Expr) {
+		un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			return
+		}
+		var id *ast.Ident
+		switch x := ast.Unparen(un.X).(type) {
+		case *ast.Ident:
+			id = x
+		case *ast.SelectorExpr:
+			id = x.Sel
+			// The base of &s.f (the ident s) is a read of s, not of f;
+			// leave it unsanctioned so plain uses of s stay visible.
+		default:
+			return
+		}
+		if obj := p.Pkg.Info.Uses[id]; obj != nil {
+			atomicVars[obj] = true
+			sanctioned[id] = true
+		}
+	}
+
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.calleeFunc(call)
+			if pkgPathOf(fn) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				record(arg)
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || sanctioned[id] {
+				return true
+			}
+			obj := p.Pkg.Info.Uses[id]
+			if obj == nil || !atomicVars[obj] {
+				return true
+			}
+			p.Reportf(id.Pos(), "plain access to %q, which is accessed via sync/atomic elsewhere in this package (races with the atomic path; use atomic ops for every access)", id.Name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// determinism enforces the repo's byte-identical-reruns contract inside
+// the determinism-scoped packages (deterministicScope in main.go): no
+// wall-clock reads, no global math/rand state, and no order-sensitive
+// iteration over maps. Simulated time is data (float64 ms), randomness is
+// an injected seeded *rand.Rand, and map iteration order leaks into any
+// output it writes — CI diffs sweep outputs byte-for-byte, so one
+// unsorted range shows up as flaky nondeterminism long after the fact.
+var determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, global rand and order-sensitive map ranges in deterministic packages",
+	Run:  runDeterminism,
+}
+
+// bannedTimeFuncs are the wall-clock reads that make a run irreproducible.
+var bannedTimeFuncs = map[string]bool{"Now": true, "Since": true}
+
+// allowedRandFuncs are the package-level constructors of math/rand that
+// produce an explicitly seeded generator; everything else package-level
+// (Intn, Float64, Shuffle, ...) draws from the shared global source.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors:
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := p.calleeFunc(n)
+				if fn == nil || fn.Signature().Recv() != nil {
+					return true // methods (e.g. on *rand.Rand) are fine
+				}
+				switch pkgPathOf(fn) {
+				case "time":
+					if bannedTimeFuncs[fn.Name()] {
+						p.Reportf(n.Pos(), "call to time.%s in deterministic package (simulated time is data; inject times explicitly)", fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if !allowedRandFuncs[fn.Name()] {
+						p.Reportf(n.Pos(), "global rand.%s in deterministic package (draw from an injected seeded *rand.Rand)", fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				p.checkMapRange(file, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange flags a range over a map whose body writes state declared
+// outside the loop (or returns out of it): the write order — and for an
+// early return, the chosen element — then depends on Go's randomized map
+// iteration order. Ranges proven order-insensitive carry //lint:ordered.
+func (p *Pass) checkMapRange(file *ast.File, rng *ast.RangeStmt) {
+	t := p.Pkg.Info.Types[rng.X].Type
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if p.suppressed(file, rng.Pos(), "ordered") {
+		return
+	}
+	lo, hi := rng.Pos(), rng.End()
+
+	// outer reports whether the expression's root variable is declared
+	// outside the range statement (or is too opaque to prove inner).
+	outer := func(e ast.Expr) bool {
+		id := rootIdent(e)
+		if id == nil {
+			return true
+		}
+		obj := p.Pkg.Info.Uses[id]
+		if obj == nil {
+			obj = p.Pkg.Info.Defs[id]
+		}
+		if id.Name == "_" {
+			return false
+		}
+		return !declaredWithin(obj, lo, hi)
+	}
+
+	// One diagnostic per range, anchored at the range statement (where
+	// the fix goes), describing the first order-sensitive effect found.
+	reported := false
+	report := func(what string) {
+		if !reported {
+			reported = true
+			p.Reportf(rng.Pos(), "map range %s, but map iteration order is randomized (iterate sorted keys, or mark //lint:ordered if provably order-insensitive)", what)
+		}
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if outer(lhs) {
+					report("writes state declared outside the loop")
+					return true
+				}
+			}
+		case *ast.IncDecStmt:
+			if outer(n.X) {
+				report("writes state declared outside the loop")
+			}
+		case *ast.SendStmt:
+			if outer(n.Chan) {
+				report("sends on a channel in iteration order")
+			}
+		case *ast.ReturnStmt:
+			report("returns from inside the loop, so the surviving element depends on iteration order")
+		}
+		return true
+	})
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// floatcmp flags == and != between two non-constant floating-point
+// operands outside _test.go files. Computed floats that "should" be equal
+// rarely are (PR 4's Result.Validate broke exactly this way at 1e7-ms
+// makespans, where one ulp exceeds any fixed epsilon): compare with an
+// explicit, magnitude-relative tolerance instead. Comparisons against a
+// constant are allowed — assignment round-trips are exact in IEEE 754, so
+// sentinel checks like `if opts.Alpha == 0` are deliberate and precise.
+var floatcmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "forbid ==/!= between non-constant float operands outside tests",
+	Run:  runFloatcmp,
+}
+
+func runFloatcmp(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		if strings.HasSuffix(p.Pkg.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := p.Pkg.Info.Types[be.X], p.Pkg.Info.Types[be.Y]
+			if tx.Type == nil || ty.Type == nil {
+				return true
+			}
+			if !isFloat(tx.Type) && !isFloat(ty.Type) {
+				return true
+			}
+			if tx.Value != nil || ty.Value != nil {
+				return true // constant sentinel comparison: exact by IEEE 754 assignment
+			}
+			p.Reportf(be.OpPos, "floating-point %s between computed values (one ulp of rounding breaks it; compare with an explicit tolerance, e.g. |a-b| <= eps*(1+|a|))", be.Op)
+			return true
+		})
+	}
+}

@@ -1,0 +1,131 @@
+package main
+
+// Golden-test harness for the analyzers: each testdata package seeds
+// violations annotated with `// want "regexp"` comments on the offending
+// line (several wants per line allowed). The harness loads the package
+// through the same go list + go/types pipeline the driver uses, runs one
+// analyzer, and requires an exact match: every want satisfied by a
+// diagnostic on its line, no diagnostic without a want.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// wantArgRE matches one double-quoted or backtick-quoted pattern;
+// backticks let patterns themselves contain double quotes.
+var wantArgRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// expectation is one `// want` entry: a position plus a message pattern.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	met     bool
+}
+
+func runTestdata(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := load([]string{"./" + filepath.ToSlash(dir)})
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages from %s, want 1", len(pkgs), dir)
+	}
+	pkg := pkgs[0]
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			args := wantArgRE.FindAllStringSubmatch(m[1], -1)
+			if len(args) == 0 {
+				t.Fatalf("%s:%d: want comment with no quoted pattern", name, i+1)
+			}
+			for _, arg := range args {
+				pat := arg[1]
+				if pat == "" {
+					pat = arg[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", name, i+1, pat, err)
+				}
+				wants = append(wants, &expectation{file: name, line: i + 1, pattern: re})
+			}
+		}
+	}
+
+	for _, d := range runAnalyzer(a, pkg) {
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", d.Pos, a.Name, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q did not fire", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// TestDriverCleanOnSelf runs the full suite over this package as a smoke
+// test of the driver path (ci/lint must of course be lint-clean itself).
+func TestDriverCleanOnSelf(t *testing.T) {
+	pkgs, err := load([]string{"."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			for _, d := range runAnalyzer(a, pkg) {
+				t.Errorf("%s: %s: %s", d.Pos, a.Name, d.Message)
+			}
+		}
+	}
+}
+
+// TestDeterministicScopeExists pins the scope list to real packages: a
+// renamed or deleted package would otherwise silently drop out of
+// determinism checking.
+func TestDeterministicScopeExists(t *testing.T) {
+	for path := range deterministicScope {
+		rel := strings.TrimPrefix(path, "repro/")
+		if _, err := os.Stat(filepath.Join("..", "..", filepath.FromSlash(rel))); err != nil {
+			t.Errorf("deterministicScope lists %s but %v", path, err)
+		}
+	}
+}
+
+func TestMain(m *testing.M) {
+	// The loader shells out to `go list` relative to the current
+	// directory; tests run with cwd = ci/lint, which is inside the
+	// module, so patterns like ./testdata/... resolve. Guard anyway.
+	if _, err := os.Stat("testdata"); err != nil {
+		fmt.Fprintln(os.Stderr, "ci/lint tests must run from the ci/lint directory:", err)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotpath enforces allocation discipline inside functions annotated with
+// a //apt:hotpath doc comment: the engine commit/event loop and the
+// online striped-submit path are benchmarked at a fixed allocs/op budget
+// (4 allocs warm), and the cheapest regression to ship is an innocent
+// fmt call, a string +, a closure that captures, or a defer on a
+// microsecond-scale function. Cold error/panic formatting belongs in a
+// separate unannotated helper.
+var hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid fmt calls, string concatenation, closures and defer in //apt:hotpath functions",
+	Run:  runHotpath,
+}
+
+const hotpathDirective = "//apt:hotpath"
+
+func runHotpath(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			p.checkHotpathBody(fd)
+		}
+	}
+}
+
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == hotpathDirective || strings.HasPrefix(c.Text, hotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pass) checkHotpathBody(fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "closure literal in hotpath function %s (may allocate its captures; hoist it or use a method value on preallocated state)", name)
+			return false // its body is part of the already-reported closure
+		case *ast.DeferStmt:
+			p.Reportf(n.Pos(), "defer in hotpath function %s (adds per-call overhead; unwind explicitly on each return path)", name)
+		case *ast.CallExpr:
+			if fn := p.calleeFunc(n); pkgPathOf(fn) == "fmt" {
+				p.Reportf(n.Pos(), "call to fmt.%s in hotpath function %s (formats and allocates; move formatting to a cold helper)", fn.Name(), name)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && p.isStringExpr(n) {
+				p.Reportf(n.Pos(), "string concatenation in hotpath function %s (allocates; precompute or use indexed lookup)", name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && p.isStringExpr(n.Lhs[0]) {
+				p.Reportf(n.Pos(), "string concatenation in hotpath function %s (allocates; precompute or use indexed lookup)", name)
+			}
+		}
+		return true
+	})
+}
+
+func (p *Pass) isStringExpr(e ast.Expr) bool {
+	t := p.Pkg.Info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,99 @@
+// Command lint is the repository's custom static-analysis suite: a
+// multichecker-style driver written only against the standard library
+// (go/parser, go/ast, go/types + go/importer — no third-party modules)
+// that enforces invariants the end-to-end gates can only catch after the
+// fact:
+//
+//   - determinism: the simulation core must stay seeded and byte-identical
+//     across reruns, so wall-clock reads (time.Now/Since), global math/rand
+//     state and order-sensitive map iteration are banned in the
+//     determinism-scoped packages (see deterministicScope). A map range
+//     proven order-insensitive is suppressed with a //lint:ordered comment
+//     on, or immediately above, the range statement.
+//   - hotpath: functions annotated //apt:hotpath (the engine commit/event
+//     path, the online striped-submit path) must stay allocation-lean: no
+//     fmt.* calls, no string concatenation, no closure literals, no defer.
+//   - concurrency: structs carrying sync.Mutex/WaitGroup/atomic.* state
+//     must not be passed or returned by value, and a field accessed via
+//     sync/atomic anywhere in a package must not also be read or written
+//     plainly.
+//   - floatcmp: no ==/!= between two non-constant floating-point operands
+//     outside _test.go files (compare with an explicit tolerance instead —
+//     the Result.Validate lesson).
+//
+// Usage:
+//
+//	go run ./ci/lint ./...
+//	go run ./ci/lint ./internal/sim ./online
+//
+// Diagnostics print as file:line:col: analyzer: message; the exit status
+// is 1 when any diagnostic fired, 2 on a driver or type-checking error.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// deterministicScope lists the import paths whose outputs must be
+// byte-identical across reruns (every simulation artifact is diffed in
+// CI). The determinism analyzer runs only on these; the other three
+// analyzers run everywhere. Keep this list in sync with the
+// "Determinism scope" subsection of docs/ARCHITECTURE.md.
+var deterministicScope = map[string]bool{
+	"repro/apt":               true,
+	"repro/internal/sim":      true,
+	"repro/internal/dfg":      true,
+	"repro/internal/policy":   true,
+	"repro/internal/stats":    true,
+	"repro/internal/perturb":  true,
+	"repro/internal/workload": true,
+	"repro/internal/heaps":    true,
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: lint packages...")
+		os.Exit(2)
+	}
+	pkgs, err := load(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(2)
+	}
+
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a == determinism && !deterministicScope[pkg.Path] {
+				continue
+			}
+			diags = append(diags, runAnalyzer(a, pkg)...)
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// analyzers is the full suite, in reporting-name order.
+var analyzers = []*Analyzer{concurrency, determinism, floatcmp, hotpath}

@@ -1,0 +1,91 @@
+// Package concurrency seeds violations for the concurrency analyzer:
+// lock-bearing structs passed and returned by value, and a counter mixing
+// sync/atomic with plain access — plus pointer-passing and all-atomic
+// counterparts that must stay quiet.
+package concurrency
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counterSet embeds a mutex; guard carries one two levels deep.
+type counterSet struct {
+	mu sync.Mutex
+	n  int
+}
+
+type guard struct {
+	inner counterSet
+	limit int
+}
+
+type atomicBox struct {
+	hits atomic.Int64
+}
+
+func byValueParam(c counterSet) int { // want `parameter "c" of byValueParam carries sync.Mutex by value`
+	return c.n
+}
+
+func byValueNested(g guard) int { // want `parameter "g" of byValueNested carries sync.Mutex by value`
+	return g.limit
+}
+
+func byValueResult() counterSet { // want `result of byValueResult carries sync.Mutex by value`
+	return counterSet{}
+}
+
+func byValueWaitGroup(wg sync.WaitGroup) { // want `parameter "wg" of byValueWaitGroup carries sync.WaitGroup by value`
+	wg.Wait()
+}
+
+func byValueAtomic(b atomicBox) int64 { // want `parameter "b" of byValueAtomic carries sync/atomic.Int64 by value`
+	return b.hits.Load()
+}
+
+func (c counterSet) byValueReceiver() {} // want `receiver "c" of byValueReceiver carries sync.Mutex by value`
+
+// Pointers (and slices of pointers) are the sanctioned transport: quiet.
+func byPointer(c *counterSet, gs []*guard, wg *sync.WaitGroup) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wg.Wait()
+	return c.n + len(gs)
+}
+
+// state mixes old-style sync/atomic calls on one field with plain access.
+type state struct {
+	ops  int64
+	done uint32
+}
+
+func (s *state) record() {
+	atomic.AddInt64(&s.ops, 1)
+	atomic.StoreUint32(&s.done, 1)
+}
+
+func (s *state) broken() int64 {
+	if s.done == 1 { // want `plain access to "done"`
+		s.ops++ // want `plain access to "ops"`
+	}
+	return s.ops // want `plain access to "ops"`
+}
+
+// allAtomic reads through the atomic API: quiet.
+func (s *state) allAtomic() int64 {
+	if atomic.LoadUint32(&s.done) == 1 {
+		return atomic.LoadInt64(&s.ops)
+	}
+	return atomic.SwapInt64(&s.ops, 0)
+}
+
+// plainOnly is a field never touched atomically: plain access is quiet.
+type plainOnly struct {
+	n int64
+}
+
+func (p *plainOnly) bump() int64 {
+	p.n++
+	return p.n
+}

@@ -1,0 +1,85 @@
+// Package determinism seeds violations for the determinism analyzer:
+// wall-clock reads, global math/rand draws, and order-sensitive map
+// ranges — plus clean and suppressed counterparts that must stay quiet.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Wall-clock reads are banned; time arithmetic on injected values is not.
+func clocks(t0 time.Time) time.Duration {
+	now := time.Now()  // want "call to time.Now"
+	_ = time.Since(t0) // want "call to time.Since"
+	return now.Sub(t0) // method on an injected value: ok
+}
+
+// Global rand draws are banned; an injected seeded *rand.Rand is the
+// sanctioned source, and the seeded constructors are allowed.
+func draws(r *rand.Rand) float64 {
+	_ = rand.Intn(10)                     // want "global rand.Intn"
+	_ = rand.Float64()                    // want "global rand.Float64"
+	rand.Shuffle(1, func(i, j int) {})    // want "global rand.Shuffle"
+	seeded := rand.New(rand.NewSource(7)) // constructors: ok
+	_ = seeded.Intn(10)                   // method on seeded generator: ok
+	return r.Float64()                    // method on injected generator: ok
+}
+
+// sink is outer state the map ranges below write into.
+var sink []string
+
+func mapWrites(m map[string]int) int {
+	for k := range m { // want "map iteration order is randomized"
+		sink = append(sink, k)
+	}
+	total := 0
+	for _, v := range m { // want "map iteration order is randomized"
+		total += v
+	}
+	for k, v := range m { // want "map iteration order is randomized"
+		m[k] = v + 1
+	}
+	return total
+}
+
+func mapReturns(m map[string]int) string {
+	for k := range m { // want "depends on iteration order"
+		if k != "" {
+			return k
+		}
+	}
+	return ""
+}
+
+func mapSends(m map[string]int, ch chan string) {
+	for k := range m { // want "sends on a channel in iteration order"
+		ch <- k
+	}
+}
+
+// Suppressed and clean ranges must stay quiet.
+func quiet(m map[string]int, xs []int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //lint:ordered — collected then sorted just below
+		keys = append(keys, k)
+	}
+	//lint:ordered — per-key copy on the line above the range also works
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys { // slice range: ok
+		_ = k
+	}
+	for i, x := range xs { // slice range writing outer state: ok
+		xs[i] = x + 1
+	}
+	for range m { // body writes nothing outer: ok
+		local := 0
+		local++
+		_ = local
+	}
+	return keys
+}

@@ -1,0 +1,56 @@
+// Package floatcmp seeds violations for the floatcmp analyzer: equality
+// between computed floats fires; constant sentinel comparisons, integer
+// comparisons and tolerance-based comparisons stay quiet. (Test files are
+// exempt by construction: the loader only analyzes non-test sources.)
+package floatcmp
+
+import "math"
+
+type opts struct {
+	Alpha float64
+	Rate  float32
+}
+
+type ms float64
+
+func computed(a, b float64, c, d float32, x, y ms) bool {
+	if a == b { // want "floating-point == between computed values"
+		return true
+	}
+	if c != d { // want "floating-point != between computed values"
+		return false
+	}
+	if x == y { // want "floating-point == between computed values"
+		return true
+	}
+	return a/2 != b*3 // want "floating-point != between computed values"
+}
+
+func selfNaNCheck(v float64) bool {
+	return v != v // want "floating-point != between computed values"
+}
+
+// Constant sentinel comparisons are exact by IEEE 754 assignment: quiet.
+func sentinels(o opts) opts {
+	if o.Alpha == 0 {
+		o.Alpha = 1.5
+	}
+	if o.Rate != 0 {
+		o.Rate = 0
+	}
+	if o.Alpha == math.Inf(1) { // want "floating-point == between computed values"
+		o.Alpha = 1 // math.Inf is a call, not a constant: use math.IsInf
+	}
+	return o
+}
+
+// Integer equality and float ordering are fine: quiet.
+func clean(i, j int, a, b float64) bool {
+	if i == j {
+		return true
+	}
+	if a < b || a > b {
+		return false
+	}
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a))
+}

@@ -1,0 +1,44 @@
+// Package hotpath seeds violations for the hotpath analyzer: an
+// annotated function containing every banned construct, and both an
+// annotated-clean and an unannotated-dirty function that must stay quiet.
+package hotpath
+
+import "fmt"
+
+var calls int
+
+// hot is on the annotated hot path and violates every rule.
+//
+//apt:hotpath
+func hot(name string, xs []float64) float64 {
+	defer func() { calls++ }() // want "defer in hotpath function hot" "closure literal in hotpath function hot"
+	msg := "kernel " + name    // want "string concatenation in hotpath function hot"
+	msg += "!"                 // want "string concatenation in hotpath function hot"
+	fmt.Println(msg)           // want "call to fmt.Println in hotpath function hot"
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	f := func() float64 { return sum } // want "closure literal in hotpath function hot"
+	return f()
+}
+
+// hotClean is annotated but disciplined: no diagnostics.
+//
+//apt:hotpath
+func hotClean(xs []float64, out []float64) int {
+	n := 0
+	for i, x := range xs {
+		if x > 0 {
+			out[i] = x
+			n++
+		}
+	}
+	return n
+}
+
+// cold is unannotated, so the banned constructs are fine here.
+func cold(name string) string {
+	defer func() { calls++ }()
+	return fmt.Sprintf("cold %s", name+"!")
+}

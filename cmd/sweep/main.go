@@ -508,8 +508,13 @@ func run(w io.Writer, typ int, alphaCSV, rateCSV, polName string, seed int64, si
 	}
 
 	sort.Slice(points, func(i, j int) bool {
-		if points[i].rate != points[j].rate {
-			return points[i].rate < points[j].rate
+		// Three-way rate comparison (no float equality): exact ties fall
+		// through to the alpha tie-break.
+		if points[i].rate < points[j].rate {
+			return true
+		}
+		if points[j].rate < points[i].rate {
+			return false
 		}
 		return points[i].alpha < points[j].alpha
 	})

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/lut"
 	"repro/internal/platform"
@@ -114,12 +115,25 @@ func (n Noise) Validate() error {
 	default:
 		return fmt.Errorf("perturb: unknown noise model %d", int(n.Model))
 	}
-	for k, b := range n.Bias {
-		if !(b > 0) || math.IsInf(b, 1) {
+	// Validate biases in sorted kind order: with several invalid entries
+	// the reported one must not depend on map iteration order.
+	for _, k := range n.sortedBiasKinds() {
+		if b := n.Bias[k]; !(b > 0) || math.IsInf(b, 1) {
 			return fmt.Errorf("perturb: bias for kind %s must be positive and finite, got %v", k, b)
 		}
 	}
 	return nil
+}
+
+// sortedBiasKinds returns the Bias keys in sorted order, for
+// deterministic iteration and error reporting.
+func (n Noise) sortedBiasKinds() []platform.Kind {
+	kinds := make([]platform.Kind, 0, len(n.Bias))
+	for k := range n.Bias { //lint:ordered — collected then sorted just below
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
 }
 
 // Apply returns the actual-time table: a copy of t with every (entry, kind)
@@ -137,8 +151,9 @@ func (n Noise) Apply(t *lut.Table) (*lut.Table, error) {
 	kinds := t.Kinds()
 	// A bias for a kind the table does not cover would silently never
 	// apply — a typo'd -bias flag reporting unbiased results as biased —
-	// so reject it here, where the table is known.
-	for k := range n.Bias {
+	// so reject it here, where the table is known. Checked in sorted kind
+	// order so the reported kind is deterministic.
+	for _, k := range n.sortedBiasKinds() {
 		known := false
 		for _, tk := range kinds {
 			if k == tk {

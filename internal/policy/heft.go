@@ -99,8 +99,13 @@ func (h *HEFT) Prepare(c *sim.Costs) error {
 		prio[i] = dfg.KernelID(i)
 	}
 	sort.SliceStable(prio, func(i, j int) bool {
-		if h.RankU[prio[i]] != h.RankU[prio[j]] {
-			return h.RankU[prio[i]] > h.RankU[prio[j]]
+		// Three-way rank comparison (no float equality): exact rank ties
+		// fall through to the kernel-ID tie-break.
+		if h.RankU[prio[i]] > h.RankU[prio[j]] {
+			return true
+		}
+		if h.RankU[prio[i]] < h.RankU[prio[j]] {
+			return false
 		}
 		return prio[i] < prio[j]
 	})

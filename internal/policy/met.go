@@ -60,7 +60,10 @@ func (m *MET) Select(st *sim.State) []sim.Assignment {
 		_, best := m.c.BestProc(k)
 		for p := 0; p < np; p++ {
 			pid := platform.ProcID(p)
-			if m.c.Exec(k, pid) == best && m.avail.has(pid) {
+			// best is the minimum of this same Exec row, so <= holds
+			// exactly for the processors achieving it (no float
+			// equality needed; nothing can be strictly below the min).
+			if m.c.Exec(k, pid) <= best && m.avail.has(pid) {
 				m.avail.take(pid)
 				out = append(out, sim.Assignment{Kernel: k, Proc: pid})
 				break

@@ -182,8 +182,13 @@ func (pf *PEFT) visitOrder(g *dfg.Graph) []dfg.KernelID {
 	// higher orders a before b in the frontier: larger rank first, ties to
 	// the lower kernel ID.
 	higher := func(a, b dfg.KernelID) bool {
-		if rank[a] != rank[b] {
-			return rank[a] > rank[b]
+		// Three-way rank comparison (no float equality): exact rank ties
+		// fall through to the kernel-ID tie-break.
+		if rank[a] > rank[b] {
+			return true
+		}
+		if rank[a] < rank[b] {
+			return false
 		}
 		return a < b
 	}

@@ -29,8 +29,13 @@ func Gantt(w io.Writer, res *sim.Result, g *dfg.Graph, sys *platform.System) err
 		events = append(events, evt{pl.Finish, fmt.Sprintf("%s: finish %d-%s", name, pl.Kernel, k.Name), 1})
 	}
 	sort.Slice(events, func(i, j int) bool {
-		if events[i].at != events[j].at {
-			return events[i].at < events[j].at
+		// Three-way time comparison (no float equality): exact ties fall
+		// through to the start-before-finish ordering.
+		if events[i].at < events[j].at {
+			return true
+		}
+		if events[j].at < events[i].at {
+			return false
 		}
 		return events[i].order < events[j].order
 	})

@@ -15,6 +15,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
@@ -131,9 +132,11 @@ func (t *Table) WriteCSV(w io.Writer) error {
 }
 
 // Ms formats a millisecond quantity the way the paper's tables do:
-// integral values without decimals, otherwise three decimals.
+// integral values without decimals, otherwise three decimals. The
+// integrality test compares a remainder against the constant zero, which
+// is exact, rather than round-tripping through int64.
 func Ms(v float64) string {
-	if v == float64(int64(v)) {
+	if math.Mod(v, 1) == 0 {
 		return fmt.Sprintf("%d", int64(v))
 	}
 	return fmt.Sprintf("%.3f", v)

@@ -199,7 +199,12 @@ func (c *Costs) rankedRow(k dfg.KernelID) []platform.ProcID {
 			for i := 1; i < np; i++ {
 				for j := i; j > 0; j-- {
 					a, b := out[j-1], out[j]
-					if row[b] < row[a] || (row[b] == row[a] && b < a) {
+					// Three-way cost comparison (no float equality):
+					// exact ties order by processor ID.
+					if row[a] < row[b] {
+						break
+					}
+					if row[b] < row[a] || b < a {
 						out[j-1], out[j] = b, a
 					} else {
 						break

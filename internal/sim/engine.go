@@ -192,10 +192,15 @@ type event struct {
 }
 
 // before orders events: by time, completions before arrivals at ties, then
-// by kernel ID for full determinism.
+// by kernel ID for full determinism. The time comparison is a three-way
+// split rather than a != test so ties fall through to the tie-breakers
+// without a floating-point equality.
 func (a event) before(b event) bool {
-	if a.at != b.at {
-		return a.at < b.at
+	if a.at < b.at {
+		return true
+	}
+	if b.at < a.at {
+		return false
 	}
 	if a.kind != b.kind {
 		return a.kind < b.kind
@@ -207,6 +212,8 @@ func (a event) before(b event) bool {
 // (internal/heaps rather than container/heap) so pushes and pops never box
 // events into interfaces — this keeps the event loop allocation-free once
 // the backing array has grown to its high-water mark.
+//
+//apt:hotpath
 func (e *engine) pushEvent(ev event) {
 	e.events = append(e.events, ev)
 	heaps.Up(e.events, len(e.events)-1, event.before)
@@ -214,6 +221,8 @@ func (e *engine) pushEvent(ev event) {
 
 // popEvent removes and returns the earliest event. Callers must check
 // len(e.events) > 0 first.
+//
+//apt:hotpath
 func (e *engine) popEvent() event {
 	h := e.events
 	top := h[0]
@@ -425,6 +434,8 @@ type engine struct {
 func (e *engine) readyLen() int { return len(e.ready) - e.readyHoles }
 
 // pushReady appends a kernel to the ready FIFO.
+//
+//apt:hotpath
 func (e *engine) pushReady(k dfg.KernelID) {
 	e.readyIdx[k] = len(e.ready)
 	e.ready = append(e.ready, k)
@@ -432,6 +443,8 @@ func (e *engine) pushReady(k dfg.KernelID) {
 
 // removeReady drops a kernel from the ready FIFO in O(1) amortised time by
 // tombstoning its slot; order of the remaining entries is unchanged.
+//
+//apt:hotpath
 func (e *engine) removeReady(k dfg.KernelID) {
 	i := e.readyIdx[k]
 	if i < 0 {
@@ -626,6 +639,8 @@ func Run(c *Costs, pol Policy, opt Options) (*Result, error) {
 }
 
 // arrive marks a paced kernel as present in the stream.
+//
+//apt:hotpath
 func (e *engine) arrive(k dfg.KernelID) {
 	e.arrived[k] = true
 	if e.predsLeft[k] == 0 {
@@ -637,6 +652,7 @@ func (e *engine) arrive(k dfg.KernelID) {
 	}
 }
 
+//apt:hotpath
 func (e *engine) invokePolicy(st *State) {
 	e.selectCalls++
 	for _, a := range e.pol.Select(st) {
@@ -644,17 +660,16 @@ func (e *engine) invokePolicy(st *State) {
 	}
 }
 
-// commit validates and enqueues an assignment.
+// commit validates and enqueues an assignment. Validation failures panic
+// via the cold badAssignment helper so the hot path carries no fmt calls.
+//
+//apt:hotpath
 func (e *engine) commit(a Assignment) {
 	n := e.costs.g.NumKernels()
-	if a.Kernel < 0 || int(a.Kernel) >= n {
-		panic(fmt.Sprintf("sim: policy %s assigned unknown kernel %d", e.pol.Name(), a.Kernel))
-	}
-	if a.Proc < 0 || int(a.Proc) >= e.costs.sys.NumProcs() {
-		panic(fmt.Sprintf("sim: policy %s assigned kernel %d to unknown processor %d", e.pol.Name(), a.Kernel, a.Proc))
-	}
-	if e.assigned[a.Kernel] {
-		panic(fmt.Sprintf("sim: policy %s double-assigned kernel %d", e.pol.Name(), a.Kernel))
+	if a.Kernel < 0 || int(a.Kernel) >= n ||
+		a.Proc < 0 || int(a.Proc) >= e.costs.sys.NumProcs() ||
+		e.assigned[a.Kernel] {
+		e.badAssignment(a)
 	}
 	e.assigned[a.Kernel] = true
 	e.procOf[a.Kernel] = a.Proc
@@ -670,8 +685,23 @@ func (e *engine) commit(a Assignment) {
 	e.removeReady(a.Kernel)
 }
 
+// badAssignment re-derives why commit rejected the assignment and panics
+// with the diagnostic. Kept out of commit so the //apt:hotpath discipline
+// (no fmt, no allocation) holds on the accepting path.
+func (e *engine) badAssignment(a Assignment) {
+	if a.Kernel < 0 || int(a.Kernel) >= e.costs.g.NumKernels() {
+		panic(fmt.Sprintf("sim: policy %s assigned unknown kernel %d", e.pol.Name(), a.Kernel))
+	}
+	if a.Proc < 0 || int(a.Proc) >= e.costs.sys.NumProcs() {
+		panic(fmt.Sprintf("sim: policy %s assigned kernel %d to unknown processor %d", e.pol.Name(), a.Kernel, a.Proc))
+	}
+	panic(fmt.Sprintf("sim: policy %s double-assigned kernel %d", e.pol.Name(), a.Kernel))
+}
+
 // startQueued starts the head of every idle processor's queue whose
 // dependencies have completed.
+//
+//apt:hotpath
 func (e *engine) startQueued() error {
 	for p := range e.queues {
 		if e.running[p] >= 0 || e.queues[p].len() == 0 {
@@ -689,6 +719,7 @@ func (e *engine) startQueued() error {
 	return nil
 }
 
+//apt:hotpath
 func (e *engine) start(k dfg.KernelID, p platform.ProcID) error {
 	pl := &e.placements[k]
 	pl.TransferStart = e.now + e.opt.SchedOverheadMs
@@ -698,19 +729,8 @@ func (e *engine) start(k dfg.KernelID, p platform.ProcID) error {
 		// them).
 		pl.ExecStart = pl.TransferStart + e.actual.TransferIn(k, p, e.placeFn)
 		pl.Finish = pl.ExecStart + e.actual.Exec(k, p)
-	} else {
-		// Degraded path: integrate the same nominal durations over the
-		// time-varying speeds of the degradation schedule.
-		execStart, err := e.transferFinish(k, p, pl.TransferStart)
-		if err != nil {
-			return fmt.Errorf("sim: kernel %d transfer onto proc %d: %w", k, p, err)
-		}
-		pl.ExecStart = execStart
-		finish, err := elapseExec(e.opt.Degrade, p, e.actual.Exec(k, p), execStart)
-		if err != nil {
-			return fmt.Errorf("sim: kernel %d on proc %d: %w", k, p, err)
-		}
-		pl.Finish = finish
+	} else if err := e.startDegraded(k, p, pl); err != nil {
+		return err
 	}
 	e.running[p] = k
 	e.busyUntil[p] = pl.Finish
@@ -718,6 +738,24 @@ func (e *engine) start(k dfg.KernelID, p platform.ProcID) error {
 	return nil
 }
 
+// startDegraded computes the degraded-path timings: the nominal durations
+// integrated over the time-varying speeds of the degradation schedule.
+// Split from start so the nominal hot path stays free of error formatting.
+func (e *engine) startDegraded(k dfg.KernelID, p platform.ProcID, pl *Placement) error {
+	execStart, err := e.transferFinish(k, p, pl.TransferStart)
+	if err != nil {
+		return fmt.Errorf("sim: kernel %d transfer onto proc %d: %w", k, p, err)
+	}
+	pl.ExecStart = execStart
+	finish, err := elapseExec(e.opt.Degrade, p, e.actual.Exec(k, p), execStart)
+	if err != nil {
+		return fmt.Errorf("sim: kernel %d on proc %d: %w", k, p, err)
+	}
+	pl.Finish = finish
+	return nil
+}
+
+//apt:hotpath
 func (e *engine) complete(ev event) {
 	k, p := ev.kernel, ev.proc
 	e.finished[k] = true
@@ -853,7 +891,11 @@ func (r *Result) Validate(g *dfg.Graph, sys *platform.System) error {
 	if n > 0 && math.Abs(maxFinish-r.MakespanMs) > math.Max(1e-6, eps(maxFinish)) {
 		return fmt.Errorf("sim: makespan %v != latest finish %v", r.MakespanMs, maxFinish)
 	}
-	for p, pls := range byProc {
+	// Walk processors in ID order rather than ranging the map: with
+	// several overlap violations the reported one must not depend on map
+	// iteration order.
+	for p := 0; p < sys.NumProcs(); p++ {
+		pls := byProc[platform.ProcID(p)]
 		sort.Slice(pls, func(i, j int) bool { return pls[i].TransferStart < pls[j].TransferStart })
 		for i := 1; i < len(pls); i++ {
 			if pls[i].TransferStart < pls[i-1].Finish-eps(pls[i-1].Finish) {

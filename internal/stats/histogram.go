@@ -107,7 +107,10 @@ func (h *Histogram) Add(x float64) {
 // factor; merging is exact (the result is identical to having Added every
 // sample into one histogram).
 func (h *Histogram) Merge(other *Histogram) error {
-	if other.growth != h.growth {
+	// Growth factors are copied configuration, never computed, so the
+	// mergeability check is an exact identity comparison — made explicit
+	// by comparing the bit patterns rather than float equality.
+	if math.Float64bits(other.growth) != math.Float64bits(h.growth) {
 		return fmt.Errorf("stats: cannot merge histograms with growth %v and %v", h.growth, other.growth)
 	}
 	if other.count == 0 {

@@ -51,8 +51,17 @@ func NewCatalog(sizes map[string][]int64) (*Catalog, error) {
 	if len(sizes) == 0 {
 		return nil, fmt.Errorf("workload: empty catalog")
 	}
-	c := &Catalog{sizes: map[string][]int64{}}
-	for name, ss := range sizes {
+	// Collect and sort the names first, then validate in that order: with
+	// several invalid entries the reported error must not depend on map
+	// iteration order.
+	names := make([]string, 0, len(sizes))
+	for name := range sizes { //lint:ordered — collected then sorted just below
+		names = append(names, name)
+	}
+	sortStrings(names)
+	c := &Catalog{names: names, sizes: map[string][]int64{}}
+	for _, name := range names {
+		ss := sizes[name]
 		if len(ss) == 0 {
 			return nil, fmt.Errorf("workload: kernel %q has no sizes", name)
 		}
@@ -63,11 +72,6 @@ func NewCatalog(sizes map[string][]int64) (*Catalog, error) {
 		}
 		c.sizes[name] = append([]int64(nil), ss...)
 	}
-	// Deterministic name order.
-	for name := range c.sizes {
-		c.names = append(c.names, name)
-	}
-	sortStrings(c.names)
 	return c, nil
 }
 

@@ -147,6 +147,9 @@ type Stats struct {
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("online: scheduler closed")
 
+// ErrNotStarted is returned by Submit before Start has been called.
+var ErrNotStarted = errors.New("online: Submit before Start")
+
 // ErrQueueFull is returned by Submit when the bounded admission queue is at
 // its limit. SubmitCtx blocks instead.
 var ErrQueueFull = errors.New("online: admission queue full")
@@ -422,14 +425,19 @@ func (s *Scheduler) prepare(t Task, onDone func(Result)) (*liveTask, error) {
 // submitTask admits one prepared task: direct placement when nothing
 // waits, otherwise the admission queue. internal marks graph-released
 // tasks, which are admitted during Drain and bypass the queue bound.
+// The inflight gate is unwound explicitly on every return path (rather
+// than deferred) to keep the per-submit overhead flat.
+//
+//apt:hotpath
 func (s *Scheduler) submitTask(lt *liveTask, internal bool) error {
 	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
 	if s.closed.Load() || (!internal && s.draining.Load()) {
+		s.inflight.Add(-1)
 		return ErrClosed
 	}
 	if !s.started.Load() {
-		return fmt.Errorf("online: Submit before Start")
+		s.inflight.Add(-1)
+		return ErrNotStarted
 	}
 	lt.seq = s.seq.Add(1)
 	lt.arrival = time.Now()
@@ -440,6 +448,7 @@ func (s *Scheduler) submitTask(lt *liveTask, internal bool) error {
 		if p, ok := s.tryPlace(lt); ok {
 			s.submitted.Add(1)
 			s.dispatch(lt, p)
+			s.inflight.Add(-1)
 			return nil
 		}
 	}
@@ -449,14 +458,18 @@ func (s *Scheduler) submitTask(lt *liveTask, internal bool) error {
 	s.submitted.Add(1)
 	if err := s.enqueue(lt, !internal); err != nil {
 		s.submitted.Add(-1)
+		s.inflight.Add(-1)
 		return err
 	}
+	s.inflight.Add(-1)
 	return nil
 }
 
 // enqueue pushes a task onto its admission stripe, enforcing the queue
 // bound exactly (compare-and-swap, so concurrent submitters cannot
 // transiently overshoot and reject each other spuriously).
+//
+//apt:hotpath
 func (s *Scheduler) enqueue(lt *liveTask, bounded bool) error {
 	if bounded && s.qlimit > 0 {
 		for {
@@ -483,6 +496,8 @@ func (s *Scheduler) enqueue(lt *liveTask, bounded bool) error {
 // best processor if idle, else cheapest idle alternative within threshold.
 // Claims race lock-free: a failed compare-and-swap means another placement
 // won that processor, so the scan repeats against the shrunken idle set.
+//
+//apt:hotpath
 func (s *Scheduler) tryPlace(lt *liveTask) (ProcID, bool) {
 	t := &lt.task
 	for attempt := 0; attempt <= s.np; attempt++ {
@@ -515,6 +530,7 @@ func (s *Scheduler) tryPlace(lt *liveTask) (ProcID, bool) {
 	return 0, false
 }
 
+//apt:hotpath
 func (s *Scheduler) claim(p int) bool {
 	return s.procs[p].busy.CompareAndSwap(false, true)
 }
@@ -522,11 +538,15 @@ func (s *Scheduler) claim(p int) bool {
 // dispatch hands a claimed task to its processor's run queue. The claim
 // protocol guarantees at most one outstanding task per processor, so the
 // capacity-1 send never blocks.
+//
+//apt:hotpath
 func (s *Scheduler) dispatch(lt *liveTask, p ProcID) {
 	s.procs[p].runq <- lt
 }
 
 // wake triggers a sweep; concurrent wakes while one is pending coalesce.
+//
+//apt:hotpath
 func (s *Scheduler) wake() {
 	select {
 	case s.wakeCh <- struct{}{}:
