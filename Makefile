@@ -5,7 +5,7 @@
 # allocs/op snapshots that future PRs can gate against). Keep this filter
 # in sync with the bench-regression job's -bench pattern.
 BENCH_FILTER ?= BenchmarkRun|BenchmarkEngineRun|BenchmarkStreamRunner|BenchmarkScale|BenchmarkSweep|BenchmarkBatchSweep|BenchmarkOnlineSubmit
-BENCH_RECORD ?= BENCH_PR6.json
+BENCH_RECORD ?= BENCH_PR7.json
 
 .PHONY: test build vet lint bench bench-record
 
@@ -16,8 +16,10 @@ vet:
 	go vet ./...
 
 # lint runs the full static gate: formatting, go vet, then the repo's own
-# analyzer suite (determinism, hotpath, concurrency, floatcmp — see
-# ci/lint). CI's lint job runs exactly this target.
+# interprocedural analyzer suite (determinism, hotpath, lockorder, goleak,
+# concurrency, floatcmp — see ci/lint). CI's lint job runs exactly this
+# target, plus a -json artifact pass. The suite loads export data from the
+# build cache; a warm cache (`make build`) keeps the run in the seconds.
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi

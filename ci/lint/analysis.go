@@ -5,46 +5,69 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 )
 
-// Analyzer is one named check over a type-checked package.
+// Analyzer is one named check. Intraprocedural analyzers set Run and are
+// invoked once per target package; interprocedural analyzers set
+// RunModule and are invoked once over the whole loaded module (their
+// Pass carries Mod but no Pkg).
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*Pass)
 }
 
-// Pass carries one analyzer's view of one package plus the diagnostic
+// Pass carries one analyzer invocation's view — the whole module, plus
+// the current package for per-package analyzers — and the diagnostic
 // sink. Analyzers report through Reportf; the driver collects and sorts.
 type Pass struct {
-	Pkg   *Package
+	Mod   *Module
+	Pkg   *Package // nil for RunModule analyzers
 	diags []Diagnostic
-
-	// directives maps file -> line -> the set of //lint: directive names
-	// present on that line (e.g. "ordered" for //lint:ordered).
-	directives map[*ast.File]map[int]map[string]bool
 }
 
 // Diagnostic is one finding at a source position.
 type Diagnostic struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
 }
 
-func runAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
-	p := &Pass{Pkg: pkg}
-	a.Run(p)
-	for i := range p.diags {
-		p.diags[i].Analyzer = a.Name
+// runAnalyzer runs one analyzer over the module: per target package for
+// intraprocedural analyzers, once for interprocedural ones.
+func runAnalyzer(a *Analyzer, mod *Module) []Diagnostic {
+	var diags []Diagnostic
+	if a.RunModule != nil {
+		p := &Pass{Mod: mod}
+		a.RunModule(p)
+		diags = p.diags
+	} else {
+		for _, pkg := range mod.Pkgs {
+			if !pkg.Target {
+				continue
+			}
+			p := &Pass{Mod: mod, Pkg: pkg}
+			a.Run(p)
+			diags = append(diags, p.diags...)
+		}
 	}
-	return p.diags
+	for i := range diags {
+		diags[i].Analyzer = a.Name
+	}
+	return diags
 }
 
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Mod.Fset.Position(pos)
 	p.diags = append(p.diags, Diagnostic{
-		Pos:     p.Pkg.Fset.Position(pos),
+		Pos:     position,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
 		Message: fmt.Sprintf(format, args...),
 	})
 }
@@ -52,35 +75,12 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // suppressed reports whether a //lint:<name> directive comment sits on the
 // node's own line or on the line immediately above it in the same file.
 func (p *Pass) suppressed(file *ast.File, pos token.Pos, name string) bool {
-	if p.directives == nil {
-		p.directives = map[*ast.File]map[int]map[string]bool{}
-	}
-	lines, ok := p.directives[file]
-	if !ok {
-		lines = map[int]map[string]bool{}
-		for _, cg := range file.Comments {
-			for _, c := range cg.List {
-				rest, found := strings.CutPrefix(c.Text, "//lint:")
-				if !found {
-					continue
-				}
-				directive, _, _ := strings.Cut(rest, " ")
-				line := p.Pkg.Fset.Position(c.Pos()).Line
-				if lines[line] == nil {
-					lines[line] = map[string]bool{}
-				}
-				lines[line][directive] = true
-			}
-		}
-		p.directives[file] = lines
-	}
-	line := p.Pkg.Fset.Position(pos).Line
-	return lines[line][name] || lines[line-1][name]
+	return p.Mod.suppressed(file, pos, name)
 }
 
 // calleeFunc resolves a call expression to the *types.Func it invokes, or
 // nil for builtins, conversions and calls through function values.
-func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+func (pkg *Package) calleeFunc(call *ast.CallExpr) *types.Func {
 	var id *ast.Ident
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
@@ -90,7 +90,7 @@ func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
 	default:
 		return nil
 	}
-	fn, _ := p.Pkg.Info.Uses[id].(*types.Func)
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
 	return fn
 }
 

@@ -1,8 +1,50 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
 
-func TestDeterminismAnalyzer(t *testing.T) { runTestdata(t, determinism, "testdata/determinism") }
-func TestHotpathAnalyzer(t *testing.T)     { runTestdata(t, hotpath, "testdata/hotpath") }
+// TestDeterminismAnalyzer exercises the taint-derived scope end to end on
+// a three-package fixture: the seed package (violations fire), a package
+// the seed references through a function call (taint propagates,
+// violations fire), and a package the seed touches only through a type
+// (no taint, its wall-clock read must stay unreported).
+func TestDeterminismAnalyzer(t *testing.T) {
+	defer func(old []string) { determinismSeeds = old }(determinismSeeds)
+	determinismSeeds = []string{"repro/ci/lint/testdata/determinism"}
+	runTestdata(t, determinism, "testdata/determinism/...")
+}
+
+func TestHotpathAnalyzer(t *testing.T)     { runTestdata(t, hotpath, "testdata/hotpath/...") }
 func TestConcurrencyAnalyzer(t *testing.T) { runTestdata(t, concurrency, "testdata/concurrency") }
 func TestFloatcmpAnalyzer(t *testing.T)    { runTestdata(t, floatcmp, "testdata/floatcmp") }
+func TestLockorderAnalyzer(t *testing.T)   { runTestdata(t, lockorder, "testdata/lockorder") }
+func TestGoleakAnalyzer(t *testing.T)      { runTestdata(t, goleak, "testdata/goleak") }
+
+// TestDiagnosticJSON pins the -json wire shape the CI artifact upload
+// consumes: stable lowercase keys, no token.Position leakage.
+func TestDiagnosticJSON(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 7},
+		File:     "x.go",
+		Line:     3,
+		Col:      7,
+		Analyzer: "determinism",
+		Message:  "call to time.Now",
+	}
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(raw)
+	want := `{"file":"x.go","line":3,"col":7,"analyzer":"determinism","message":"call to time.Now"}`
+	if got != want {
+		t.Errorf("Diagnostic JSON = %s, want %s", got, want)
+	}
+	if strings.Contains(got, "Filename") {
+		t.Errorf("Diagnostic JSON leaks token.Position: %s", got)
+	}
+}

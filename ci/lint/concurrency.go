@@ -142,7 +142,7 @@ func (p *Pass) checkMixedAtomicAccess() {
 			if !ok {
 				return true
 			}
-			fn := p.calleeFunc(call)
+			fn := p.Pkg.calleeFunc(call)
 			if pkgPathOf(fn) != "sync/atomic" {
 				return true
 			}

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// goleak flags `go` statements that start a goroutine with no statically
+// visible termination path. The serving layer's lifecycle contract is
+// that every goroutine ties its exit to a context, a Close/Shutdown
+// signal, or a channel the spawner owns (range over a channel the
+// spawner closes counts: close terminates the range). A goroutine whose
+// body — or any function it transitively calls — contains an infinite
+// loop with no return or loop-break, or a bare `select {}`, can never
+// exit; in tests it trips leak detectors, in the server it pins the
+// scheduler shards past Shutdown.
+//
+// The check is a heuristic over the static call graph: loops with a
+// condition, ranges (including channel ranges), and interface-dispatched
+// calls are assumed terminating, so it under-approximates — everything
+// it does flag genuinely has no exit path.
+var goleak = &Analyzer{
+	Name:      "goleak",
+	Doc:       "flag go statements whose goroutine has no statically visible termination path",
+	RunModule: runGoleak,
+}
+
+func runGoleak(p *Pass) {
+	memo := map[string]bool{}
+	for _, pkg := range p.Mod.Pkgs {
+		if !pkg.Target {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				var leaky bool
+				var what string
+				switch fun := ast.Unparen(g.Call.Fun).(type) {
+				case *ast.FuncLit:
+					leaky = bodyRunsForever(p.Mod, pkg, fun.Body, memo, map[string]bool{})
+					what = "goroutine literal"
+				default:
+					fn := pkg.calleeFunc(g.Call)
+					if fn == nil {
+						return true // function value: opaque, assume managed
+					}
+					leaky = funcRunsForever(p.Mod, funcKey(fn), memo, map[string]bool{})
+					what = "goroutine running " + fn.Name()
+				}
+				if leaky {
+					p.Reportf(g.Pos(), "%s has no termination path: it loops forever with no return or break (tie its exit to a context, a Close signal, or a channel the spawner closes)", what)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// funcRunsForever reports whether the named in-module function can never
+// return: its body (or a transitive callee outside any guarded position)
+// loops forever. Unknown functions — external, interface methods — are
+// assumed terminating.
+func funcRunsForever(m *Module, key string, memo map[string]bool, visiting map[string]bool) bool {
+	if v, ok := memo[key]; ok {
+		return v
+	}
+	if visiting[key] {
+		return false // recursion cycle: plain recursion still unwinds via its base case
+	}
+	fi := m.funcOf(key)
+	if fi == nil {
+		return false
+	}
+	visiting[key] = true
+	v := bodyRunsForever(m, fi.pkg, fi.decl.Body, memo, visiting)
+	delete(visiting, key)
+	memo[key] = v
+	return v
+}
+
+// bodyRunsForever reports whether a function body contains an unguarded
+// infinite loop (`for { ... }` with no return and no break targeting it),
+// a blocking-forever `select {}`, or a call (outside any loop or literal)
+// to a function that itself runs forever.
+func bodyRunsForever(m *Module, pkg *Package, body *ast.BlockStmt, memo map[string]bool, visiting map[string]bool) bool {
+	if body == nil {
+		return false
+	}
+	forever := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if forever {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate goroutine-less execution; not our flow
+		case *ast.ForStmt:
+			if n.Cond == nil && !loopExits(n) {
+				forever = true
+				return false
+			}
+		case *ast.SelectStmt:
+			if len(n.Body.List) == 0 {
+				forever = true // select {} blocks forever by definition
+				return false
+			}
+		case *ast.CallExpr:
+			if fn := pkg.calleeFunc(n); fn != nil {
+				if funcRunsForever(m, funcKey(fn), memo, visiting) {
+					forever = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return forever
+}
+
+// loopExits reports whether a condition-less for loop has an exit:
+// a return statement anywhere in its body, or a break that targets this
+// loop (an unlabeled break inside a nested for/range/switch/select
+// targets the inner construct, not this loop).
+func loopExits(loop *ast.ForStmt) bool {
+	exits := false
+	var walk func(n ast.Node, breakable bool)
+	walk = func(n ast.Node, breakable bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if exits {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false // a return in a literal returns from the literal
+			case *ast.ReturnStmt:
+				exits = true
+				return false
+			case *ast.BranchStmt:
+				switch {
+				case n.Tok != token.BREAK:
+				case n.Label != nil:
+					// Conservatively treat any labeled break as exiting:
+					// the only labels in scope enclose this loop.
+					exits = true
+					return false
+				case breakable:
+					exits = true
+					return false
+				}
+			case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				if n != loop {
+					// Unlabeled breaks inside target the nested construct.
+					for _, child := range childBodies(n) {
+						walk(child, false)
+					}
+					return false
+				}
+			}
+			return true
+		})
+	}
+	for _, st := range loop.Body.List {
+		walk(st, true)
+		if exits {
+			return true
+		}
+	}
+	return false
+}
+
+// childBodies returns the statement bodies of a nested breakable
+// construct, so loopExits can keep scanning for returns (which always
+// exit) while discounting its unlabeled breaks.
+func childBodies(n ast.Node) []ast.Node {
+	var out []ast.Node
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		out = append(out, n.Body)
+	case *ast.RangeStmt:
+		out = append(out, n.Body)
+	case *ast.SwitchStmt:
+		out = append(out, n.Body)
+	case *ast.TypeSwitchStmt:
+		out = append(out, n.Body)
+	case *ast.SelectStmt:
+		out = append(out, n.Body)
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Module is the interprocedural view of one `go list` invocation: every
+// in-module package (targets plus their in-module dependencies), parsed
+// and type-checked, indexed three ways:
+//
+//   - byPath: package lookup by import path;
+//   - funcs: every function and method declaration with a body, keyed by
+//     its types.Func full name, each carrying its statically resolved
+//     call sites — the per-package call graph, stitched across packages
+//     by name (source-checked and export-data objects for the same
+//     function are distinct *types.Func values, but agree on FullName);
+//   - refs: the package-level reference graph — pkg A references pkg B
+//     when A mentions a function, method or variable of B. Pure type
+//     references (aliases, struct embedding, conversions) do not count:
+//     a type carries no behaviour, so it cannot transmit nondeterminism.
+//     This is the edge relation the determinism taint propagates over,
+//     and what keeps apt's `online` type re-exports from dragging the
+//     wall-clock-reading serving layer into the determinism scope.
+type Module struct {
+	Path   string
+	Fset   *token.FileSet
+	Pkgs   []*Package
+	byPath map[string]*Package
+	funcs  map[string]*funcInfo
+	refs   map[string]map[string]bool
+
+	// directives maps file -> line -> the set of //lint: directive names
+	// present on that line (e.g. "ordered" for //lint:ordered). Built
+	// lazily per file; analysis runs single-threaded.
+	directives map[*ast.File]map[int]map[string]bool
+}
+
+// funcInfo is one declared function or method with a body.
+type funcInfo struct {
+	key  string
+	pkg  *Package
+	decl *ast.FuncDecl
+	// hot marks //apt:hotpath (allocation-budgeted root), cold marks
+	// //apt:coldpath (deliberate slow-path boundary: error formatting,
+	// degraded-mode timing — the hotpath closure stops here).
+	hot, cold bool
+	// calls are the statically resolved call sites in the body, in
+	// source order, excluding calls nested inside FuncLits (a literal is
+	// not necessarily executed when the enclosing function runs).
+	calls []callSite
+}
+
+// callSite is one resolved static call.
+type callSite struct {
+	pos token.Pos
+	fn  *types.Func // callee; interface methods and externals resolve here too
+	key string
+}
+
+// funcKey returns the stable cross-package identity of a function: its
+// FullName, which agrees between the source-checked declaration and the
+// export-data object an importing package sees. Generic calls resolve to
+// their origin (uninstantiated) function, matching the declaration.
+func funcKey(fn *types.Func) string {
+	if orig := fn.Origin(); orig != nil {
+		fn = orig
+	}
+	return fn.FullName()
+}
+
+// buildModule indexes the loaded packages.
+func buildModule(path string, pkgs []*Package) *Module {
+	m := &Module{
+		Path:   path,
+		Pkgs:   pkgs,
+		byPath: make(map[string]*Package, len(pkgs)),
+		funcs:  map[string]*funcInfo{},
+		refs:   map[string]map[string]bool{},
+	}
+	if len(pkgs) > 0 {
+		m.Fset = pkgs[0].Fset
+	}
+	for _, pkg := range pkgs {
+		m.byPath[pkg.Path] = pkg
+		m.refs[pkg.Path] = map[string]bool{}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				fi := &funcInfo{
+					key:  funcKey(obj),
+					pkg:  pkg,
+					decl: fd,
+					hot:  hasDirective(fd, "//apt:hotpath"),
+					cold: hasDirective(fd, "//apt:coldpath"),
+				}
+				fi.calls = collectCalls(pkg, fd.Body)
+				m.funcs[fi.key] = fi
+			}
+		}
+		m.collectRefs(pkg)
+	}
+	return m
+}
+
+// hasDirective reports whether the declaration's doc comment carries the
+// given machine-readable directive line.
+func hasDirective(fd *ast.FuncDecl, directive string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// collectCalls gathers the statically resolvable call sites directly
+// inside body, skipping nested function literals.
+func collectCalls(pkg *Package, body ast.Node) []callSite {
+	var calls []callSite
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != body {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := pkg.calleeFunc(call); fn != nil {
+			calls = append(calls, callSite{pos: call.Pos(), fn: fn, key: funcKey(fn)})
+		}
+		return true
+	})
+	return calls
+}
+
+// collectRefs records which other in-module packages this package
+// references through functions, methods or variables (including struct
+// fields — reading another package's data is dataflow from it).
+func (m *Module) collectRefs(pkg *Package) {
+	out := m.refs[pkg.Path]
+	for _, obj := range pkg.Info.Uses {
+		switch obj.(type) {
+		case *types.Func, *types.Var:
+		default:
+			continue
+		}
+		opkg := obj.Pkg()
+		if opkg == nil || opkg.Path() == pkg.Path {
+			continue
+		}
+		if p := opkg.Path(); p == m.Path || strings.HasPrefix(p, m.Path+"/") {
+			out[p] = true
+		}
+	}
+}
+
+// funcOf resolves a callee to its in-module declaration, or nil for
+// externals, interface methods and builtins.
+func (m *Module) funcOf(key string) *funcInfo { return m.funcs[key] }
+
+// suppressed reports whether a //lint:<name> directive comment sits on
+// the node's own line or on the line immediately above it in its file.
+func (m *Module) suppressed(file *ast.File, pos token.Pos, name string) bool {
+	if m.directives == nil {
+		m.directives = map[*ast.File]map[int]map[string]bool{}
+	}
+	lines, ok := m.directives[file]
+	if !ok {
+		lines = map[int]map[string]bool{}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, found := strings.CutPrefix(c.Text, "//lint:")
+				if !found {
+					continue
+				}
+				directive, _, _ := strings.Cut(rest, " ")
+				line := m.Fset.Position(c.Pos()).Line
+				if lines[line] == nil {
+					lines[line] = map[string]bool{}
+				}
+				lines[line][directive] = true
+			}
+		}
+		m.directives[file] = lines
+	}
+	line := m.Fset.Position(pos).Line
+	return lines[line][name] || lines[line-1][name]
+}
+
+// targetPos reports whether pos lies inside a package matched by the
+// command-line patterns. Interprocedural analyzers traverse dependency
+// bodies but report only against targets — a dependency's own findings
+// surface when it is linted as a target (`make lint` targets everything).
+func (m *Module) targetPos(pos token.Pos) bool {
+	for _, pkg := range m.Pkgs {
+		if pkg.fileOf(pos) != nil {
+			return pkg.Target
+		}
+	}
+	return false
+}
+
+// fileOf returns the *ast.File of pkg containing pos.
+func (pkg *Package) fileOf(pos token.Pos) *ast.File {
+	for _, f := range pkg.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -30,48 +31,56 @@ type expectation struct {
 	met     bool
 }
 
-func runTestdata(t *testing.T, a *Analyzer, dir string) {
+// runTestdata loads pattern (one or more testdata packages: pass a /...
+// pattern to exercise cross-package propagation) and checks one analyzer's
+// diagnostics against the `// want` comments in every target package.
+func runTestdata(t *testing.T, a *Analyzer, pattern string) {
 	t.Helper()
-	pkgs, err := load([]string{"./" + filepath.ToSlash(dir)})
+	mod, err := load([]string{"./" + filepath.ToSlash(pattern)})
 	if err != nil {
-		t.Fatalf("loading %s: %v", dir, err)
+		t.Fatalf("loading %s: %v", pattern, err)
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("loaded %d packages from %s, want 1", len(pkgs), dir)
-	}
-	pkg := pkgs[0]
-
 	var wants []*expectation
-	for _, f := range pkg.Files {
-		name := pkg.Fset.Position(f.Pos()).Filename
-		src, err := os.ReadFile(name)
-		if err != nil {
-			t.Fatal(err)
+	targets := 0
+	for _, pkg := range mod.Pkgs {
+		if !pkg.Target {
+			continue
 		}
-		for i, line := range strings.Split(string(src), "\n") {
-			m := wantRE.FindStringSubmatch(line)
-			if m == nil {
-				continue
+		targets++
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			src, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatal(err)
 			}
-			args := wantArgRE.FindAllStringSubmatch(m[1], -1)
-			if len(args) == 0 {
-				t.Fatalf("%s:%d: want comment with no quoted pattern", name, i+1)
-			}
-			for _, arg := range args {
-				pat := arg[1]
-				if pat == "" {
-					pat = arg[2]
+			for i, line := range strings.Split(string(src), "\n") {
+				m := wantRE.FindStringSubmatch(line)
+				if m == nil {
+					continue
 				}
-				re, err := regexp.Compile(pat)
-				if err != nil {
-					t.Fatalf("%s:%d: bad want pattern %q: %v", name, i+1, pat, err)
+				args := wantArgRE.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					t.Fatalf("%s:%d: want comment with no quoted pattern", name, i+1)
 				}
-				wants = append(wants, &expectation{file: name, line: i + 1, pattern: re})
+				for _, arg := range args {
+					pat := arg[1]
+					if pat == "" {
+						pat = arg[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", name, i+1, pat, err)
+					}
+					wants = append(wants, &expectation{file: name, line: i + 1, pattern: re})
+				}
 			}
 		}
 	}
+	if targets == 0 {
+		t.Fatalf("no target packages matched %s", pattern)
+	}
 
-	for _, d := range runAnalyzer(a, pkg) {
+	for _, d := range runAnalyzer(a, mod) {
 		matched := false
 		for _, w := range wants {
 			if !w.met && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
@@ -91,31 +100,83 @@ func runTestdata(t *testing.T, a *Analyzer, dir string) {
 	}
 }
 
-// TestDriverCleanOnSelf runs the full suite over this package as a smoke
-// test of the driver path (ci/lint must of course be lint-clean itself).
-func TestDriverCleanOnSelf(t *testing.T) {
-	pkgs, err := load([]string{"."})
+// wholeRepo loads every package of the module exactly once and shares the
+// result across the tests that need the full interprocedural view.
+var wholeRepo = sync.OnceValues(func() (*Module, error) {
+	return load([]string{"repro/..."})
+})
+
+// TestSuiteCleanOnRepo runs the full analyzer suite over the whole module:
+// the tree must stay self-clean (every real finding is fixed or carries a
+// reviewed //lint:/coldpath escape), otherwise `make lint` is red.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	mod, err := wholeRepo()
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			for _, d := range runAnalyzer(a, pkg) {
-				t.Errorf("%s: %s: %s", d.Pos, a.Name, d.Message)
-			}
+	for _, a := range analyzers {
+		for _, d := range runAnalyzer(a, mod) {
+			t.Errorf("%s: %s: %s", d.Pos, a.Name, d.Message)
 		}
 	}
 }
 
-// TestDeterministicScopeExists pins the scope list to real packages: a
-// renamed or deleted package would otherwise silently drop out of
-// determinism checking.
-func TestDeterministicScopeExists(t *testing.T) {
-	for path := range deterministicScope {
-		rel := strings.TrimPrefix(path, "repro/")
-		if _, err := os.Stat(filepath.Join("..", "..", filepath.FromSlash(rel))); err != nil {
-			t.Errorf("deterministicScope lists %s but %v", path, err)
+// pr6Scope is the hand-maintained determinism scope the derived taint
+// closure replaced. The derivation must never quietly narrow coverage:
+// every package the old list named has to stay inside the derived scope.
+var pr6Scope = []string{
+	"repro/apt",
+	"repro/internal/sim",
+	"repro/internal/dfg",
+	"repro/internal/policy",
+	"repro/internal/stats",
+	"repro/internal/perturb",
+	"repro/internal/workload",
+	"repro/internal/heaps",
+}
+
+func TestDerivedScopeSupersetOfPR6(t *testing.T) {
+	mod, err := wholeRepo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scope := deriveDeterminismScope(mod)
+	for _, seed := range determinismSeeds {
+		if !scope[seed] {
+			t.Errorf("seed %s missing from its own derived scope (package deleted or renamed?)", seed)
 		}
+	}
+	for _, path := range pr6Scope {
+		if !scope[path] {
+			t.Errorf("derived determinism scope lost %s, which the PR 6 hand-maintained list covered", path)
+		}
+	}
+	// The serving layer legitimately reads the wall clock and is only
+	// type-referenced from the sweep closure; it must stay out of scope,
+	// or deriving the scope from references was pointless.
+	if scope["repro/online"] {
+		t.Errorf("repro/online entered the determinism scope; only type-level references should link it to the sweep closure")
+	}
+}
+
+// TestSeedsMatchCI pins every determinism seed to an actual byte-diffed
+// invocation in the CI workflow: a seed whose package CI no longer diffs
+// is a stale taint source, and a determinism job diffing a package that is
+// not a seed would leave that package unchecked.
+func TestSeedsMatchCI(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", ".github", "workflows", "ci.yml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := string(raw)
+	for _, seed := range determinismSeeds {
+		rel := "./" + strings.TrimPrefix(seed, "repro/")
+		if !strings.Contains(ci, rel) {
+			t.Errorf("determinism seed %s has no %s invocation in .github/workflows/ci.yml", seed, rel)
+		}
+	}
+	if !strings.Contains(ci, "cmp ") {
+		t.Errorf("ci.yml no longer byte-compares outputs (no `cmp` invocation); the determinism seeds lost their justification")
 	}
 }
 

@@ -4,79 +4,280 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 )
 
-// hotpath enforces allocation discipline inside functions annotated with
-// a //apt:hotpath doc comment: the engine commit/event loop and the
-// online striped-submit path are benchmarked at a fixed allocs/op budget
+// hotpath enforces allocation discipline over the closure of functions
+// annotated //apt:hotpath: the engine commit/event loop and the online
+// striped-submit path are benchmarked at a fixed allocs/op budget
 // (4 allocs warm), and the cheapest regression to ship is an innocent
-// fmt call, a string +, a closure that captures, or a defer on a
-// microsecond-scale function. Cold error/panic formatting belongs in a
-// separate unannotated helper.
+// fmt call, a string +, a closure that captures, a defer, or a helper
+// three calls down that boxes a value into an interface. The rules are
+// therefore enforced not just in the annotated body but over every
+// statically resolvable in-module callee, transitively. Deliberate
+// slow-path helpers — panic formatting, degraded-mode timing — are
+// annotated //apt:coldpath, which stops the traversal and makes the
+// hot/cold boundary explicit and reviewable.
+//
+// Beyond the four PR 6 rules (fmt, string concatenation, closures,
+// defer), three heap-escape heuristics apply to every function in the
+// closure:
+//
+//   - interface boxing: passing a concrete value where an interface
+//     parameter is expected (or converting to an interface type)
+//     allocates unless the compiler can prove otherwise;
+//   - unpreallocated append growth: appending inside a loop to a slice
+//     declared empty in the same function reallocates as it grows —
+//     preallocate with make(len/cap) or reuse a buffer that survives
+//     calls (appends to fields and passed-in buffers are the reuse
+//     idiom and stay legal);
+//   - string/[]byte conversions: each direction copies.
 var hotpath = &Analyzer{
-	Name: "hotpath",
-	Doc:  "forbid fmt calls, string concatenation, closures and defer in //apt:hotpath functions",
-	Run:  runHotpath,
+	Name:      "hotpath",
+	Doc:       "enforce allocation discipline over the transitive closure of //apt:hotpath functions",
+	RunModule: runHotpath,
 }
-
-const hotpathDirective = "//apt:hotpath"
 
 func runHotpath(p *Pass) {
-	for _, file := range p.Pkg.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !isHotpath(fd) {
-				continue
+	// Breadth-first over the call graph from every annotated root, so
+	// the recorded chain to each function is a shortest one. A function
+	// reachable from several roots is checked (and reported) once.
+	type item struct {
+		fi    *funcInfo
+		chain string
+	}
+	var queue []item
+	visited := map[string]bool{}
+	for _, pkg := range p.Mod.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !hasDirective(fd, "//apt:hotpath") {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				fi := p.Mod.funcOf(funcKey(obj))
+				if fi == nil || visited[fi.key] {
+					continue
+				}
+				visited[fi.key] = true
+				queue = append(queue, item{fi: fi, chain: fd.Name.Name})
 			}
-			p.checkHotpathBody(fd)
+		}
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if it.fi.pkg.Target {
+			p.checkHotpathBody(it.fi, it.chain)
+		}
+		for _, call := range it.fi.calls {
+			callee := p.Mod.funcOf(call.key)
+			if callee == nil || callee.cold || visited[callee.key] {
+				continue // external, interface-dispatched, cold, or seen
+			}
+			visited[callee.key] = true
+			queue = append(queue, item{fi: callee, chain: it.chain + " → " + callee.decl.Name.Name})
 		}
 	}
 }
 
-func isHotpath(fd *ast.FuncDecl) bool {
-	if fd.Doc == nil {
-		return false
+// checkHotpathBody applies the allocation rules to one function of the
+// hotpath closure. chain names the path from the annotated root (just
+// the function name when it is itself a root).
+func (p *Pass) checkHotpathBody(fi *funcInfo, chain string) {
+	pkg, fd := fi.pkg, fi.decl
+	where := "hotpath function " + fd.Name.Name
+	if chain != fd.Name.Name {
+		where = "function " + fd.Name.Name + " (hotpath-reachable via " + chain + ")"
 	}
-	for _, c := range fd.Doc.List {
-		if c.Text == hotpathDirective || strings.HasPrefix(c.Text, hotpathDirective+" ") {
+	fresh := freshSlices(pkg, fd.Body)
+	var stack []ast.Node
+	loops := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			switch top.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops--
+			}
 			return true
 		}
-	}
-	return false
-}
-
-func (p *Pass) checkHotpathBody(fd *ast.FuncDecl) {
-	name := fd.Name.Name
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		stack = append(stack, n)
 		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops++
 		case *ast.FuncLit:
-			p.Reportf(n.Pos(), "closure literal in hotpath function %s (may allocate its captures; hoist it or use a method value on preallocated state)", name)
-			return false // its body is part of the already-reported closure
+			p.Reportf(n.Pos(), "closure literal in %s (may allocate its captures; hoist it or use a method value on preallocated state)", where)
+			// Skip the body, but keep the stack balanced: Inspect will
+			// not descend, so pop the literal ourselves.
+			stack = stack[:len(stack)-1]
+			return false
 		case *ast.DeferStmt:
-			p.Reportf(n.Pos(), "defer in hotpath function %s (adds per-call overhead; unwind explicitly on each return path)", name)
+			p.Reportf(n.Pos(), "defer in %s (adds per-call overhead; unwind explicitly on each return path)", where)
 		case *ast.CallExpr:
-			if fn := p.calleeFunc(n); pkgPathOf(fn) == "fmt" {
-				p.Reportf(n.Pos(), "call to fmt.%s in hotpath function %s (formats and allocates; move formatting to a cold helper)", fn.Name(), name)
-			}
+			p.checkHotpathCall(pkg, n, where, loops > 0, fresh)
 		case *ast.BinaryExpr:
-			if n.Op == token.ADD && p.isStringExpr(n) {
-				p.Reportf(n.Pos(), "string concatenation in hotpath function %s (allocates; precompute or use indexed lookup)", name)
+			if n.Op == token.ADD && isStringExpr(pkg, n) {
+				p.Reportf(n.Pos(), "string concatenation in %s (allocates; precompute or use indexed lookup)", where)
 			}
 		case *ast.AssignStmt:
-			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && p.isStringExpr(n.Lhs[0]) {
-				p.Reportf(n.Pos(), "string concatenation in hotpath function %s (allocates; precompute or use indexed lookup)", name)
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(pkg, n.Lhs[0]) {
+				p.Reportf(n.Pos(), "string concatenation in %s (allocates; precompute or use indexed lookup)", where)
 			}
 		}
 		return true
 	})
 }
 
-func (p *Pass) isStringExpr(e ast.Expr) bool {
-	t := p.Pkg.Info.Types[e].Type
+// checkHotpathCall applies the call-shaped rules: fmt, string/[]byte
+// conversions, interface boxing of arguments, and in-loop append growth.
+func (p *Pass) checkHotpathCall(pkg *Package, call *ast.CallExpr, where string, inLoop bool, fresh map[types.Object]bool) {
+	if fn := pkg.calleeFunc(call); pkgPathOf(fn) == "fmt" {
+		p.Reportf(call.Pos(), "call to fmt.%s in %s (formats and allocates; move formatting to a cold helper)", fn.Name(), where)
+		return
+	}
+	// Conversions: T(x). Flag the string/[]byte copies and concrete-to-
+	// interface boxing.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		src := pkg.Info.Types[call.Args[0]].Type
+		dst := tv.Type
+		if src != nil {
+			switch {
+			case isString(dst) && isByteSlice(src):
+				p.Reportf(call.Pos(), "[]byte→string conversion in %s (copies; keep one representation or use a reused buffer)", where)
+			case isByteSlice(dst) && isString(src):
+				p.Reportf(call.Pos(), "string→[]byte conversion in %s (copies; keep one representation or use a reused buffer)", where)
+			case isInterface(dst) && !isInterface(src) && !isNil(src):
+				p.Reportf(call.Pos(), "conversion to interface in %s (boxes the value on the heap)", where)
+			}
+		}
+		return
+	}
+	// Builtin append: growth inside a loop of a slice declared empty in
+	// this very function means amortized reallocation per call.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && inLoop && len(call.Args) > 0 {
+			if root := rootIdent(call.Args[0]); root != nil && fresh[pkg.Info.Uses[root]] {
+				p.Reportf(call.Pos(), "append to %s inside a loop in %s, but %s is declared without capacity (preallocate with make(..., 0, n) or reuse a buffer across calls)", root.Name, where, root.Name)
+			}
+		}
+		return
+	}
+	// Interface boxing of arguments: a concrete value passed where the
+	// callee takes an interface is materialized on the heap unless
+	// escape analysis saves it — on a ~1µs path, assume it does not.
+	sig, ok := pkg.Info.Types[call.Fun].Type.(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		at := pkg.Info.Types[arg].Type
+		if at == nil || !isInterface(pt) || isInterface(at) || isNil(at) {
+			continue
+		}
+		p.Reportf(arg.Pos(), "argument boxes %s into interface %s in %s (allocates; take a concrete type or a pointer on this path)", at, pt, where)
+	}
+}
+
+// freshSlices collects the objects of slices declared empty (no capacity)
+// inside the body: `var s []T`, `s := []T{}`, `s := make([]T)` or
+// `make([]T, 0)` with no capacity argument.
+func freshSlices(pkg *Package, body ast.Node) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	note := func(id *ast.Ident) {
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+				fresh[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			if len(n.Rhs) != len(n.Lhs) {
+				return true // multi-value RHS: not a literal/make form
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && emptySliceExpr(pkg, n.Rhs[i]) {
+					note(id)
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) == 0 {
+				for _, id := range n.Names {
+					note(id)
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// emptySliceExpr reports whether e builds a zero-capacity slice: an empty
+// composite literal or a make call without a capacity argument.
+func emptySliceExpr(pkg *Package, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return len(e.Elts) == 0
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return false
+		}
+		if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return false
+		}
+		return len(e.Args) < 3
+	}
+	return false
+}
+
+func isStringExpr(pkg *Package, e ast.Expr) bool {
+	t := pkg.Info.Types[e].Type
 	if t == nil {
 		return false
 	}
+	return isString(t)
+}
+
+func isString(t types.Type) bool {
 	b, ok := t.Underlying().(*types.Basic)
 	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
 }

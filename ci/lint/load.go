@@ -13,10 +13,12 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 )
 
-// Package is one loaded, parsed and type-checked target package.
+// Package is one loaded, parsed and type-checked package.
 type Package struct {
 	Path  string // import path
 	Dir   string
@@ -24,6 +26,12 @@ type Package struct {
 	Files []*ast.File // non-test files only, comments retained
 	Types *types.Package
 	Info  *types.Info
+	// Target marks packages matched by the command-line patterns; the
+	// others are in-module dependencies, loaded so the interprocedural
+	// analyzers can see transitive callee bodies but not themselves
+	// reported against (their own diagnostics surface when they are
+	// linted as targets — `make lint` runs ./..., which targets all).
+	Target bool
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.
@@ -34,16 +42,24 @@ type listedPackage struct {
 	Export     string
 	Standard   bool
 	DepOnly    bool
+	Module     *struct{ Path string }
 	Error      *struct{ Err string }
 }
 
 // load resolves the package patterns with the go tool, parses the matched
-// packages from source and type-checks them against the build cache's
-// export data. Only the standard library is used: `go list -export`
-// produces compiled export data for every dependency (populating the
-// build cache as needed), and go/importer's gc importer reads it back via
-// the lookup function — no golang.org/x/tools.
-func load(patterns []string) ([]*Package, error) {
+// packages (plus every in-module dependency — the interprocedural layer
+// needs their function bodies) from source and type-checks them against
+// the build cache's export data. Only the standard library is used:
+// `go list -export` produces compiled export data for every dependency
+// (populating the build cache as needed), and go/importer's gc importer
+// reads it back via the lookup function — no golang.org/x/tools.
+//
+// Packages type-check in parallel: each unit resolves its imports from
+// export data, never from another unit's in-progress check, so the only
+// shared state is the importer's cache (mutex-guarded) and the FileSet
+// (internally synchronized). The returned slice is in `go list` order
+// regardless of which goroutine finished first.
+func load(patterns []string) (mod *Module, err error) {
 	args := append([]string{"list", "-export", "-json", "-deps"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
@@ -53,7 +69,8 @@ func load(patterns []string) ([]*Package, error) {
 	}
 
 	exports := map[string]string{} // import path -> export data file
-	var targets []*listedPackage
+	modulePath := ""
+	var listed []*listedPackage
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var lp listedPackage
@@ -68,9 +85,15 @@ func load(patterns []string) ([]*Package, error) {
 		if lp.Export != "" {
 			exports[lp.ImportPath] = lp.Export
 		}
-		if !lp.DepOnly {
+		if lp.Standard {
+			continue // stdlib can match broad patterns; it is not ours to lint
+		}
+		if lp.Module != nil && modulePath == "" {
+			modulePath = lp.Module.Path
+		}
+		if inModule(lp.ImportPath, lp.Module) {
 			p := lp
-			targets = append(targets, &p)
+			listed = append(listed, &p)
 		}
 	}
 
@@ -83,23 +106,45 @@ func load(patterns []string) ([]*Package, error) {
 		return os.Open(f)
 	})}
 
-	var pkgs []*Package
-	for _, t := range targets {
-		if t.Standard {
-			continue // stdlib can match broad patterns; it is not ours to lint
-		}
-		pkg, err := parseAndCheck(fset, imp, t)
+	pkgs := make([]*Package, len(listed))
+	errs := make([]error, len(listed))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, t := range listed {
+		wg.Add(1)
+		go func(i int, t *listedPackage) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pkgs[i], errs[i] = parseAndCheck(fset, imp, t)
+		}(i, t)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, pkg)
 	}
-	return pkgs, nil
+	return buildModule(modulePath, pkgs), nil
+}
+
+// inModule reports whether a listed package belongs to the main module
+// (lint targets and the dependencies whose bodies the interprocedural
+// analyzers traverse). Vendored or required third-party modules — this
+// repository has none — would be skipped like the stdlib.
+func inModule(importPath string, m *struct{ Path string }) bool {
+	if m == nil {
+		return false
+	}
+	return importPath == m.Path || strings.HasPrefix(importPath, m.Path+"/")
 }
 
 // cacheImporter adapts the gc export-data importer, short-circuiting
-// "unsafe" (which has no export data).
+// "unsafe" (which has no export data) and serializing Import calls — the
+// underlying importer caches into an unguarded map, and load type-checks
+// packages concurrently.
 type cacheImporter struct {
+	mu sync.Mutex
 	gc types.Importer
 }
 
@@ -107,6 +152,8 @@ func (c *cacheImporter) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.gc.Import(path)
 }
 
@@ -133,11 +180,12 @@ func parseAndCheck(fset *token.FileSet, imp types.Importer, lp *listedPackage) (
 		return nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, err)
 	}
 	return &Package{
-		Path:  lp.ImportPath,
-		Dir:   lp.Dir,
-		Fset:  fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
+		Path:   lp.ImportPath,
+		Dir:    lp.Dir,
+		Fset:   fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+		Target: !lp.DepOnly,
 	}, nil
 }

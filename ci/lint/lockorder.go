@@ -1,0 +1,476 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockorder builds a static lock graph over the module and enforces the
+// serving layer's locking discipline, which no amount of -race testing
+// proves (the race detector needs the bad interleaving to happen):
+//
+//  1. Acquisition order must be globally consistent: if some execution
+//     acquires lock B while holding A, no execution may acquire A while
+//     holding B (and no lock identity may be re-acquired while held —
+//     Go mutexes are not reentrant). Held-sets propagate through
+//     statically resolved calls, so a helper that locks a stripe while
+//     the caller holds the sweeper's pending lock contributes the
+//     pend → stripe edge at the caller's context.
+//  2. No potentially blocking operation while holding a lock: channel
+//     sends and receives, selects without a default case, and
+//     WaitGroup.Wait can park the goroutine with the lock held, turning
+//     a slow consumer into a scheduler-wide stall. Nonblocking forms
+//     (select with default, close) are fine.
+//
+// Lock identity is structural: the owning named type plus the field
+// path (online.Scheduler.pend.mu, online.stripe.mu), or the declaring
+// function for locals. Distinct instances of one identity (the stripes
+// of a striped queue) collapse together, which is exactly the
+// granularity acquisition-order discipline is defined at.
+var lockorder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "detect inconsistent lock acquisition order and blocking calls under locks",
+	RunModule: runLockorder,
+}
+
+// lockEvent is one lock acquisition with the identities held just before.
+type lockEvent struct {
+	id   string
+	pos  token.Pos
+	held []string
+}
+
+// blockEvent is one potentially blocking operation.
+type blockEvent struct {
+	what string // "channel send", "channel receive", ...
+	pos  token.Pos
+	held []string
+}
+
+// callEvent is one statically resolved call and the locks held at it.
+type callEvent struct {
+	key  string
+	pos  token.Pos
+	held []string
+}
+
+// lockSummary is the intraprocedural locking behaviour of one function
+// body (or function literal).
+type lockSummary struct {
+	acquires []lockEvent
+	blocks   []blockEvent
+	calls    []callEvent
+}
+
+type lockAnalysis struct {
+	pass      *Pass
+	summaries map[string]*lockSummary // funcKey -> summary
+	literals  []*lockSummary          // function literals, own roots
+	trans     map[string]*lockSummary // memoized transitive summaries
+}
+
+func runLockorder(p *Pass) {
+	la := &lockAnalysis{
+		pass:      p,
+		summaries: map[string]*lockSummary{},
+		trans:     map[string]*lockSummary{},
+	}
+	for _, pkg := range p.Mod.Pkgs {
+		for _, fi := range p.Mod.funcs {
+			if fi.pkg != pkg {
+				continue
+			}
+			la.summaries[fi.key] = la.summarize(pkg, fi.decl.Name.Name, fi.decl.Body)
+		}
+		// Function literals are separate execution roots (goroutines,
+		// callbacks): their bodies are skipped by the enclosing
+		// function's walk and analyzed here with an empty held-set.
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					la.literals = append(la.literals, la.summarize(pkg, "func literal", lit.Body))
+				}
+				return true
+			})
+		}
+	}
+	la.report()
+}
+
+// summarize walks one body in source order, tracking the held lock set.
+// Branch bodies run on a copy of the held-set: effects inside them are
+// recorded with the branch-local state, and the fall-through path keeps
+// the state from before the branch (an early-return unlock inside an if
+// must not make the rest of the function look unlocked).
+func (la *lockAnalysis) summarize(pkg *Package, name string, body *ast.BlockStmt) *lockSummary {
+	w := &lockWalker{la: la, pkg: pkg, fn: name, sum: &lockSummary{}}
+	w.block(body, &w.held)
+	return w.sum
+}
+
+type lockWalker struct {
+	la   *lockAnalysis
+	pkg  *Package
+	fn   string
+	sum  *lockSummary
+	held []string
+}
+
+func (w *lockWalker) block(b *ast.BlockStmt, held *[]string) {
+	if b == nil {
+		return
+	}
+	for _, st := range b.List {
+		w.stmt(st, held)
+	}
+}
+
+// branch runs a statement list on a copy of the held-set.
+func (w *lockWalker) branch(b *ast.BlockStmt, held *[]string) {
+	clone := append([]string(nil), *held...)
+	w.block(b, &clone)
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held *[]string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.block(s, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.exprs(s.Cond, held)
+		w.branch(s.Body, held)
+		if s.Else != nil {
+			clone := append([]string(nil), *held...)
+			w.stmt(s.Else, &clone)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.exprs(s.Cond, held)
+		w.branch(s.Body, held)
+	case *ast.RangeStmt:
+		if t := w.pkg.Info.Types[s.X].Type; t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				w.record(&w.sum.blocks, s.Pos(), "channel-range receive", held)
+			}
+		}
+		w.exprs(s.X, held)
+		w.branch(s.Body, held)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.exprs(s.Tag, held)
+		for _, c := range s.Body.List {
+			w.branch(&ast.BlockStmt{List: c.(*ast.CaseClause).Body}, held)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			w.branch(&ast.BlockStmt{List: c.(*ast.CaseClause).Body}, held)
+		}
+	case *ast.SelectStmt:
+		blocking := true
+		for _, c := range s.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				blocking = false // default case: the select cannot park
+			}
+		}
+		if blocking {
+			w.record(&w.sum.blocks, s.Pos(), "select without default", held)
+		}
+		for _, c := range s.Body.List {
+			w.branch(&ast.BlockStmt{List: c.(*ast.CommClause).Body}, held)
+		}
+	case *ast.SendStmt:
+		w.record(&w.sum.blocks, s.Pos(), "channel send", held)
+		w.exprs(s.Value, held)
+	case *ast.GoStmt:
+		// The spawned goroutine runs concurrently, not under our locks;
+		// spawning itself never blocks. Its body (a literal) is
+		// analyzed as a separate root.
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held for the rest of the
+		// walk, which is exactly right. Other deferred calls run at
+		// return; approximate their held-set with the current one.
+		w.call(s.Call, held, false)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	default:
+		w.exprs(s, held)
+	}
+}
+
+// exprs scans a non-compound statement or expression for calls and
+// channel receives, skipping nested function literals and statements
+// already handled structurally.
+func (w *lockWalker) exprs(n ast.Node, held *[]string) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			w.call(n, held, true)
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.record(&w.sum.blocks, n.Pos(), "channel receive", held)
+			}
+		}
+		return true
+	})
+}
+
+// call classifies one call: mutex acquire/release, blocking wait, or a
+// plain call recorded for interprocedural propagation. mutate reports
+// whether Lock/Unlock may update the live held-set (false for deferred
+// calls, whose unlock must NOT release the lock mid-walk).
+func (w *lockWalker) call(call *ast.CallExpr, held *[]string, mutate bool) {
+	fn := w.pkg.calleeFunc(call)
+	if fn == nil {
+		return
+	}
+	if recv := fn.Signature().Recv(); recv != nil && pkgPathOf(fn) == "sync" {
+		sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		rt := recv.Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		named, _ := rt.(*types.Named)
+		typeName := ""
+		if named != nil {
+			typeName = named.Obj().Name()
+		}
+		switch typeName {
+		case "Mutex", "RWMutex":
+			if sel == nil {
+				return
+			}
+			id := w.lockID(sel.X)
+			switch fn.Name() {
+			case "Lock", "RLock":
+				w.record(&w.sum.acquires, call.Pos(), id, held)
+				if mutate {
+					*held = append(*held, id)
+				}
+			case "Unlock", "RUnlock":
+				if mutate {
+					release(held, id)
+				}
+			}
+			return
+		case "WaitGroup":
+			if fn.Name() == "Wait" {
+				w.record(&w.sum.blocks, call.Pos(), "WaitGroup.Wait", held)
+			}
+			return
+		}
+		return
+	}
+	w.sum.calls = append(w.sum.calls, callEvent{key: funcKey(fn), pos: call.Pos(), held: append([]string(nil), *held...)})
+}
+
+// record appends an event with a snapshot of the held-set. The generic
+// shape keeps acquires (id in the string slot) and blocks (description
+// in the string slot) in one code path.
+func (w *lockWalker) record(dst any, pos token.Pos, what string, held *[]string) {
+	snap := append([]string(nil), *held...)
+	switch dst := dst.(type) {
+	case *[]lockEvent:
+		*dst = append(*dst, lockEvent{id: what, pos: pos, held: snap})
+	case *[]blockEvent:
+		*dst = append(*dst, blockEvent{what: what, pos: pos, held: snap})
+	}
+}
+
+// release drops the most recent occurrence of id from the held-set.
+func release(held *[]string, id string) {
+	h := *held
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i] == id {
+			*held = append(h[:i], h[i+1:]...)
+			return
+		}
+	}
+}
+
+// lockID names a mutex structurally: the innermost named type owning the
+// field path (online.Scheduler.pend.mu), or the declaring package/
+// function for package-level and local mutexes.
+func (w *lockWalker) lockID(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := w.pkg.Info.Uses[e]
+		if obj != nil && obj.Parent() == w.pkg.Types.Scope() {
+			return shortPkg(w.pkg.Path) + "." + e.Name
+		}
+		return "local " + e.Name + " in " + w.fn
+	case *ast.SelectorExpr:
+		if t := w.pkg.Info.Types[e.X].Type; t != nil {
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				owner := named.Obj()
+				prefix := owner.Name()
+				if owner.Pkg() != nil {
+					prefix = shortPkg(owner.Pkg().Path()) + "." + prefix
+				}
+				return prefix + "." + e.Sel.Name
+			}
+		}
+		return w.lockID(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return w.lockID(e.X) + "[]"
+	case *ast.StarExpr:
+		return w.lockID(e.X)
+	default:
+		return "?"
+	}
+}
+
+// shortPkg trims the module prefix off an import path for readability.
+func shortPkg(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// transitive computes a function's locking effects including everything
+// reachable through statically resolved calls: each callee acquire or
+// block surfaces with the caller's held-set at the call site merged in.
+// Cycles terminate by returning the (possibly partial) in-progress
+// summary, which is sound for edge discovery: a cycle adds no lock the
+// first traversal has not already seen.
+func (la *lockAnalysis) transitive(key string, visiting map[string]bool) *lockSummary {
+	if s, ok := la.trans[key]; ok {
+		return s
+	}
+	base := la.summaries[key]
+	if base == nil || visiting[key] {
+		return &lockSummary{}
+	}
+	visiting[key] = true
+	out := &lockSummary{
+		acquires: append([]lockEvent(nil), base.acquires...),
+		blocks:   append([]blockEvent(nil), base.blocks...),
+	}
+	for _, c := range base.calls {
+		sub := la.transitive(c.key, visiting)
+		for _, a := range sub.acquires {
+			out.acquires = append(out.acquires, lockEvent{id: a.id, pos: a.pos, held: union(c.held, a.held)})
+		}
+		for _, b := range sub.blocks {
+			out.blocks = append(out.blocks, blockEvent{what: b.what, pos: b.pos, held: union(c.held, b.held)})
+		}
+	}
+	delete(visiting, key)
+	la.trans[key] = out
+	return out
+}
+
+// union merges two held-sets, preserving order and dropping duplicates.
+func union(a, b []string) []string {
+	out := append([]string(nil), a...)
+	for _, id := range b {
+		found := false
+		for _, have := range out {
+			if have == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// report walks every root (declared functions and literals), collects the
+// global acquired-while-holding edge set, and emits the diagnostics.
+func (la *lockAnalysis) report() {
+	type edge struct{ before, after string }
+	firstPos := map[edge]token.Pos{}
+	var edges []edge
+	reportBlock := map[string]bool{}
+	var blockDiags []blockEvent
+
+	collect := func(sum *lockSummary) {
+		for _, a := range sum.acquires {
+			for _, b := range a.held {
+				e := edge{before: b, after: a.id}
+				if _, ok := firstPos[e]; !ok {
+					firstPos[e] = a.pos
+					edges = append(edges, e)
+				}
+			}
+		}
+		for _, blk := range sum.blocks {
+			if len(blk.held) == 0 {
+				continue
+			}
+			key := fmt.Sprintf("%d:%s", blk.pos, strings.Join(blk.held, ","))
+			if !reportBlock[key] {
+				reportBlock[key] = true
+				blockDiags = append(blockDiags, blk)
+			}
+		}
+	}
+	keys := make([]string, 0, len(la.summaries))
+	for key := range la.summaries {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		collect(la.transitive(key, map[string]bool{}))
+	}
+	for _, lit := range la.literals {
+		// Literals get call propagation too: inline their calls once.
+		sum := &lockSummary{acquires: lit.acquires, blocks: lit.blocks}
+		for _, c := range lit.calls {
+			sub := la.transitive(c.key, map[string]bool{})
+			for _, a := range sub.acquires {
+				sum.acquires = append(sum.acquires, lockEvent{id: a.id, pos: a.pos, held: union(c.held, a.held)})
+			}
+			for _, b := range sub.blocks {
+				sum.blocks = append(sum.blocks, blockEvent{what: b.what, pos: b.pos, held: union(c.held, b.held)})
+			}
+		}
+		collect(sum)
+	}
+
+	reported := map[edge]bool{}
+	for _, e := range edges {
+		if !la.pass.Mod.targetPos(firstPos[e]) {
+			continue
+		}
+		if e.before == e.after {
+			la.pass.Reportf(firstPos[e], "lock %s acquired while already held (Go mutexes are not reentrant: this deadlocks if both acquisitions hit the same instance)", e.after)
+			continue
+		}
+		rev := edge{before: e.after, after: e.before}
+		if _, ok := firstPos[rev]; ok && !reported[e] && !reported[rev] {
+			reported[e], reported[rev] = true, true
+			la.pass.Reportf(firstPos[e], "inconsistent lock order: %s acquired while holding %s here, but %s is acquired while holding %s at %s (potential deadlock; pick one order)",
+				e.after, e.before, e.before, e.after, la.pass.Mod.Fset.Position(firstPos[rev]))
+		}
+	}
+	for _, blk := range blockDiags {
+		if !la.pass.Mod.targetPos(blk.pos) {
+			continue
+		}
+		la.pass.Reportf(blk.pos, "%s while holding %s (can park the goroutine with the lock held; move the operation outside the critical section or use a nonblocking form)",
+			blk.what, strings.Join(blk.held, ", "))
+	}
+}

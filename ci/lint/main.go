@@ -2,17 +2,32 @@
 // multichecker-style driver written only against the standard library
 // (go/parser, go/ast, go/types + go/importer — no third-party modules)
 // that enforces invariants the end-to-end gates can only catch after the
-// fact:
+// fact. Since PR 7 the driver is interprocedural: it loads every
+// in-module package the targets depend on, stitches a cross-package call
+// graph and a package reference graph, and runs two kinds of analyzers —
+// per-package (concurrency, floatcmp) and whole-module (determinism,
+// hotpath, lockorder, goleak):
 //
-//   - determinism: the simulation core must stay seeded and byte-identical
-//     across reruns, so wall-clock reads (time.Now/Since), global math/rand
+//   - determinism: wall-clock reads (time.Now/Since), global math/rand
 //     state and order-sensitive map iteration are banned in the
-//     determinism-scoped packages (see deterministicScope). A map range
-//     proven order-insensitive is suppressed with a //lint:ordered comment
-//     on, or immediately above, the range statement.
-//   - hotpath: functions annotated //apt:hotpath (the engine commit/event
-//     path, the online striped-submit path) must stay allocation-lean: no
-//     fmt.* calls, no string concatenation, no closure literals, no defer.
+//     determinism scope, which is *derived*: packages whose outputs CI
+//     byte-diffs (determinismSeeds) taint everything they transitively
+//     reference through functions, methods or variables. Escapes:
+//     //lint:ordered for provably order-insensitive map ranges,
+//     //lint:wallclock for wall-clock reads provably confined to
+//     non-diffed side-band output.
+//   - hotpath: functions annotated //apt:hotpath and everything they
+//     transitively call (up to //apt:coldpath boundaries) must stay
+//     allocation-lean: no fmt, string concatenation, closures, defer,
+//     interface boxing, string/[]byte copies, or unpreallocated append
+//     growth in loops.
+//   - lockorder: consistent mutex acquisition order module-wide and no
+//     potentially blocking operation (channel send/receive, selects
+//     without default, WaitGroup.Wait) while holding a lock, with
+//     held-sets propagated through static calls.
+//   - goleak: every `go` statement's goroutine must have a statically
+//     visible termination path (no unguarded infinite loops, directly or
+//     transitively).
 //   - concurrency: structs carrying sync.Mutex/WaitGroup/atomic.* state
 //     must not be passed or returned by value, and a field accessed via
 //     sync/atomic anywhere in a package must not also be read or written
@@ -24,70 +39,70 @@
 // Usage:
 //
 //	go run ./ci/lint ./...
-//	go run ./ci/lint ./internal/sim ./online
+//	go run ./ci/lint -json ./internal/sim ./online
 //
-// Diagnostics print as file:line:col: analyzer: message; the exit status
+// Diagnostics print as file:line:col: analyzer: message, or as a JSON
+// array with -json (consumed by the CI artifact upload); the exit status
 // is 1 when any diagnostic fired, 2 on a driver or type-checking error.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
 )
 
-// deterministicScope lists the import paths whose outputs must be
-// byte-identical across reruns (every simulation artifact is diffed in
-// CI). The determinism analyzer runs only on these; the other three
-// analyzers run everywhere. Keep this list in sync with the
-// "Determinism scope" subsection of docs/ARCHITECTURE.md.
-var deterministicScope = map[string]bool{
-	"repro/apt":               true,
-	"repro/internal/sim":      true,
-	"repro/internal/dfg":      true,
-	"repro/internal/policy":   true,
-	"repro/internal/stats":    true,
-	"repro/internal/perturb":  true,
-	"repro/internal/workload": true,
-	"repro/internal/heaps":    true,
-}
-
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: lint packages...")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: lint [-json] packages...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	pkgs, err := load(os.Args[1:])
+	mod, err := load(flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lint:", err)
 		os.Exit(2)
 	}
 
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			if a == determinism && !deterministicScope[pkg.Path] {
-				continue
-			}
-			diags = append(diags, runAnalyzer(a, pkg)...)
-		}
+	for _, a := range analyzers {
+		diags = append(diags, runAnalyzer(a, mod)...)
 	}
 
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
+		if a.Line != b.Line {
+			return a.Line < b.Line
 		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
+		if a.Col != b.Col {
+			return a.Col < b.Col
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	for _, d := range diags {
-		fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	if *jsonOut {
+		if diags == nil {
+			diags = []Diagnostic{} // emit [] rather than null
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "lint: %d diagnostic(s)\n", len(diags))
@@ -96,4 +111,4 @@ func main() {
 }
 
 // analyzers is the full suite, in reporting-name order.
-var analyzers = []*Analyzer{concurrency, determinism, floatcmp, hotpath}
+var analyzers = []*Analyzer{concurrency, determinism, floatcmp, goleak, hotpath, lockorder}

@@ -1,0 +1,12 @@
+// Package dep is referenced from the seed fixture package through a
+// function call: the taint derivation must pull it into the determinism
+// scope, so the global rand draw below has to be reported even though
+// this package is never named as a seed itself.
+package dep
+
+import "math/rand"
+
+// Roll draws from the shared global source.
+func Roll() int {
+	return rand.Intn(6) // want "global rand.Intn"
+}

@@ -1,0 +1,20 @@
+// taint.go wires the cross-package edges the scope derivation test needs:
+// a function-level reference to dep (taints it) and a type-only reference
+// to typeonly (must not taint it).
+package determinism
+
+import (
+	"repro/ci/lint/testdata/determinism/dep"
+	"repro/ci/lint/testdata/determinism/typeonly"
+)
+
+// useDep calls into dep: a behaviour-level reference, so dep joins the
+// determinism scope.
+func useDep() int { return dep.Roll() }
+
+// liveStats references typeonly purely through a type: no taint edge.
+type liveStats = typeonly.Stats
+
+// zero proves the alias is used without ever touching a typeonly function
+// or variable.
+func zero() liveStats { return liveStats{} }

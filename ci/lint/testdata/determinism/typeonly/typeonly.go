@@ -1,0 +1,15 @@
+// Package typeonly is referenced from the seed fixture package only
+// through a type: types carry no behaviour, so the taint derivation must
+// NOT pull this package into the determinism scope, and the wall-clock
+// read below must stay unreported. (This mirrors apt's type re-exports of
+// the live serving layer, which legitimately reads the wall clock.)
+package typeonly
+
+import "time"
+
+// Stats is the type the seed package aliases.
+type Stats struct{ Start time.Time }
+
+// Snapshot reads the wall clock; legal because the package is out of
+// scope — no function or variable of it is reachable from a seed.
+func Snapshot() Stats { return Stats{Start: time.Now()} }

@@ -1,0 +1,73 @@
+// Package goleak seeds goroutines with no termination path — unguarded
+// infinite loops (direct, in a literal, and through a transitive callee)
+// and a bare select{} — next to the guarded shapes that must stay quiet:
+// channel ranges (close-terminated), context/done-channel selects with a
+// return, finite bodies, and loops exited by break.
+package goleak
+
+import "context"
+
+// spin loops forever: receiving in an infinite loop never terminates,
+// even after the channel is closed (a closed channel yields zero values).
+func spin(ch chan int) {
+	for {
+		<-ch
+	}
+}
+
+// wrapper reaches spin transitively.
+func wrapper(ch chan int) { spin(ch) }
+
+func spawnLeaks(ch chan int) {
+	go spin(ch) // want "goroutine running spin has no termination path"
+	go func() { // want "goroutine literal has no termination path"
+		for {
+		}
+	}()
+	go func() { // want "goroutine literal has no termination path"
+		select {}
+	}()
+	go wrapper(ch) // want "goroutine running wrapper has no termination path"
+}
+
+func spawnClean(ctx context.Context, ch chan int, done chan struct{}) {
+	go func() { // range over a channel: terminated by close, ok
+		for v := range ch {
+			_ = v
+		}
+	}()
+	go func() { // context-guarded select with return: ok
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+	go func() { // done-channel guarded: ok
+		for {
+			select {
+			case <-done:
+				return
+			case <-ch:
+			}
+		}
+	}()
+	go func() { // finite body: ok
+		ch <- 1
+	}()
+	go func() { // loop exited by an unlabeled break in its own body: ok
+		for {
+			if len(ch) == 0 {
+				break
+			}
+		}
+	}()
+}
+
+// spawnOpaque starts a function value: statically opaque, assumed managed.
+func spawnOpaque(fn func()) {
+	go fn()
+}

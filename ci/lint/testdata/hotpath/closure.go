@@ -1,0 +1,86 @@
+// closure.go seeds the interprocedural hotpath cases: violations in
+// helpers that are only *reachable* from an annotated root, the
+// //apt:coldpath boundary that stops the traversal, and the PR 7
+// heap-escape heuristics (interface boxing, string/[]byte conversions,
+// unpreallocated append growth in loops).
+package hotpath
+
+// reach is the annotated root; every helper below is checked through it.
+//
+//apt:hotpath
+func reach(names []string, xs []float64) float64 {
+	total := acc(xs)
+	slow(names)
+	box(xs[0])
+	_ = conv(names[0])
+	_ = accPrealloc(xs)
+	_ = accReuse(nil, xs)
+	return total
+}
+
+// acc is unannotated but hotpath-reachable: the in-loop append to a slice
+// declared without capacity is reported, with the chain in the message.
+func acc(xs []float64) float64 {
+	var out []float64
+	for _, x := range xs {
+		out = append(out, x) // want "append to out inside a loop in function acc .hotpath-reachable via reach → acc."
+	}
+	total := 0.0
+	for _, v := range out {
+		total += v
+	}
+	return total
+}
+
+// slow is a deliberate cold boundary: nothing inside it is reported even
+// though it concatenates strings in a loop.
+//
+//apt:coldpath
+func slow(names []string) {
+	msg := ""
+	for _, n := range names {
+		msg += n // coldpath: legal
+	}
+	_ = msg
+}
+
+// box exercises the interface-boxing heuristics: an explicit conversion
+// to an interface type and a concrete argument passed to an interface
+// parameter (variadic included).
+func box(x float64) any {
+	v := any(x)  // want "conversion to interface in function box .hotpath-reachable via reach → box."
+	sinkOne(x)   // want "argument boxes float64 into interface"
+	sinkMany(x)  // want "argument boxes float64 into interface"
+	sinkOne(v)   // already an interface: ok
+	sinkOne(nil) // nil: ok
+	return v
+}
+
+func sinkOne(v any)     { _ = v }
+func sinkMany(v ...any) { _ = v }
+
+// conv exercises the string/[]byte copy heuristics.
+func conv(s string) int {
+	b := []byte(s) // want "string→\[\]byte conversion in function conv"
+	t := string(b) // want "\[\]byte→string conversion in function conv"
+	return len(t)
+}
+
+// accPrealloc appends in a loop to a slice made with explicit capacity:
+// the reallocation heuristic must stay quiet.
+func accPrealloc(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x) // preallocated: ok
+	}
+	return out
+}
+
+// accReuse appends in a loop to a passed-in buffer — the reuse idiom the
+// engine's scratch slices depend on; must stay quiet.
+func accReuse(dst []float64, xs []float64) []float64 {
+	for _, x := range xs {
+		dst = append(dst, x) // caller-owned buffer: ok
+	}
+	return dst
+}

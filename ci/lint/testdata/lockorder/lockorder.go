@@ -1,0 +1,114 @@
+// Package lockorder seeds the lock-graph violations: an inverted
+// acquisition-order pair, a re-acquired mutex, blocking operations under
+// a held lock (directly, via defer-held locks, and through a callee), and
+// the nonblocking/path-sensitive shapes that must stay quiet.
+package lockorder
+
+import "sync"
+
+type server struct {
+	a, b sync.Mutex
+	ch   chan int
+	wg   sync.WaitGroup
+}
+
+// abOrder establishes the order a → b. The inversion diagnostic is
+// reported once, at the first-seen edge, naming the other site.
+func (s *server) abOrder() {
+	s.a.Lock()
+	s.b.Lock() // want "inconsistent lock order: lockorder.server.b acquired while holding lockorder.server.a"
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+// baOrder acquires the same two locks in the opposite order.
+func (s *server) baOrder() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+// reentrant re-acquires a held mutex — guaranteed self-deadlock on the
+// same instance.
+func (s *server) reentrant() {
+	s.a.Lock()
+	s.a.Lock() // want "lock lockorder.server.a acquired while already held"
+	s.a.Unlock()
+	s.a.Unlock()
+}
+
+// sendUnderLock parks on a channel send with the lock held.
+func (s *server) sendUnderLock(v int) {
+	s.a.Lock()
+	s.ch <- v // want "channel send while holding lockorder.server.a"
+	s.a.Unlock()
+}
+
+// recvUnderLock blocks on a receive while a deferred unlock keeps the
+// lock held to the end of the function.
+func (s *server) recvUnderLock() int {
+	s.b.Lock()
+	defer s.b.Unlock()
+	return <-s.ch // want "channel receive while holding lockorder.server.b"
+}
+
+// waitUnderLock parks on a WaitGroup with the lock held.
+func (s *server) waitUnderLock() {
+	s.a.Lock()
+	s.wg.Wait() // want "WaitGroup.Wait while holding lockorder.server.a"
+	s.a.Unlock()
+}
+
+// sendHelper is clean in isolation; the diagnostic fires here because
+// callsHelperUnderLock reaches it with the lock held (interprocedural
+// held-set propagation).
+func (s *server) sendHelper(v int) {
+	s.ch <- v // want "channel send while holding lockorder.server.a"
+}
+
+func (s *server) callsHelperUnderLock(v int) {
+	s.a.Lock()
+	s.sendHelper(v)
+	s.a.Unlock()
+}
+
+// nonblocking uses a select with a default case: it cannot park, so it is
+// legal under the lock.
+func (s *server) nonblocking(v int) {
+	s.a.Lock()
+	select {
+	case s.ch <- v:
+	default:
+	}
+	s.a.Unlock()
+}
+
+// earlyUnlock releases on the branch that blocks: the held-set is
+// path-sensitive, so the receive is legal.
+func (s *server) earlyUnlock(cond bool) int {
+	s.a.Lock()
+	if cond {
+		s.a.Unlock()
+		return <-s.ch // unlocked on this path: ok
+	}
+	s.a.Unlock()
+	return 0
+}
+
+// spawnUnderLock starts a goroutine while holding the lock: the spawn
+// itself never blocks, and the goroutine body runs without our locks.
+func (s *server) spawnUnderLock() {
+	s.a.Lock()
+	go func() { s.ch <- 1 }() // concurrent body, empty held-set: ok
+	s.a.Unlock()
+}
+
+// consistent re-acquires a → b in the established order elsewhere: no new
+// diagnostic (the pair is reported once, not per site).
+func (s *server) consistent() {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}

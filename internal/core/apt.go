@@ -112,7 +112,7 @@ func (a *APT) Prepare(c *sim.Costs) error {
 func (a *APT) Stats() AltStats {
 	out := a.stats
 	out.ByKernel = make(map[string]int, len(a.stats.ByKernel))
-	for k, v := range a.stats.ByKernel {
+	for k, v := range a.stats.ByKernel { //lint:ordered — per-key map copy; writes are independent
 		out.ByKernel[k] = v
 	}
 	return out

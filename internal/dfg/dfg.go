@@ -77,9 +77,18 @@ func (g *Graph) NumEdges() int { return g.edges }
 // IDs, which only arise from programming errors.
 func (g *Graph) Kernel(id KernelID) Kernel {
 	if id < 0 || int(id) >= len(g.kernels) {
-		panic(fmt.Sprintf("dfg: kernel id %d out of range [0,%d)", id, len(g.kernels)))
+		badKernelID(id, len(g.kernels))
 	}
 	return g.kernels[id]
+}
+
+// badKernelID panics with the out-of-range diagnostic. Split from Kernel —
+// which sits on the simulation's per-event hot path — so the accepting
+// lookup carries no fmt call or interface boxing.
+//
+//apt:coldpath
+func badKernelID(id KernelID, n int) {
+	panic(fmt.Sprintf("dfg: kernel id %d out of range [0,%d)", id, n))
 }
 
 // Kernels returns all kernels in ID order; the slice is shared and must not

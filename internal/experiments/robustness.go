@@ -45,12 +45,34 @@ type robustCell struct {
 // are Poisson (mean gap extStreamMeanGapMs) so the p99 sojourn is an
 // open-system tail, not a makespan echo. The sweep is memoised on the
 // Runner; both robustness artifacts share one execution.
+//
+// The memo lock brackets only the cache reads and writes — never the
+// sweep itself: the worker pool's WaitGroup.Wait would otherwise park
+// with robustMu held. If two goroutines race past the empty-cache check
+// they both run the sweep (deterministic, so the results are identical)
+// and the first store wins.
 func (r *Runner) robustSweep() (map[string]map[float64]robustCell, error) {
 	r.robustMu.Lock()
-	defer r.robustMu.Unlock()
-	if r.robustCells != nil {
-		return r.robustCells, nil
+	cells := r.robustCells
+	r.robustMu.Unlock()
+	if cells != nil {
+		return cells, nil
 	}
+	out, err := r.computeRobustCells()
+	if err != nil {
+		return nil, err
+	}
+	r.robustMu.Lock()
+	if r.robustCells == nil {
+		r.robustCells = out
+	}
+	out = r.robustCells
+	r.robustMu.Unlock()
+	return out, nil
+}
+
+// computeRobustCells runs the full noise sweep through the worker pool.
+func (r *Runner) computeRobustCells() (map[string]map[float64]robustCell, error) {
 	graphs := r.Graphs(workload.Type2)
 	sys := platform.PaperSystem(paperRate)
 
@@ -150,7 +172,6 @@ func (r *Runner) robustSweep() (map[string]map[float64]robustCell, error) {
 			out[spec.Name][frac] = cell
 		}
 	}
-	r.robustCells = out
 	return out, nil
 }
 

@@ -53,12 +53,12 @@ func New(entries []Entry) (*Table, error) {
 	}
 	kindSet := map[platform.Kind]bool{}
 	for _, e := range entries {
-		for k := range e.TimeMs {
+		for k := range e.TimeMs { //lint:ordered — per-key set insert; writes are independent
 			kindSet[k] = true
 		}
 	}
 	kinds := make([]platform.Kind, 0, len(kindSet))
-	for k := range kindSet {
+	for k := range kindSet { //lint:ordered — collected then sorted just below
 		kinds = append(kinds, k)
 	}
 	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
@@ -82,12 +82,21 @@ func New(entries []Entry) (*Table, error) {
 		}
 		// Copy the map so the table does not alias caller memory.
 		cp := Entry{Kernel: e.Kernel, DataElems: e.DataElems, TimeMs: make(map[platform.Kind]float64, len(e.TimeMs))}
-		for k, v := range e.TimeMs {
+		for k, v := range e.TimeMs { //lint:ordered — per-key map copy; writes are independent
 			cp.TimeMs[k] = v
 		}
 		byKernel[e.Kernel] = append(byKernel[e.Kernel], cp)
 	}
-	for kernel, rows := range byKernel {
+	// Validate kernels in sorted order: when several kernels have duplicate
+	// sizes, which one the error names must not depend on map iteration
+	// order (the message could otherwise differ across identical runs).
+	kernelNames := make([]string, 0, len(byKernel))
+	for kernel := range byKernel { //lint:ordered — collected then sorted just below
+		kernelNames = append(kernelNames, kernel)
+	}
+	sort.Strings(kernelNames)
+	for _, kernel := range kernelNames {
+		rows := byKernel[kernel]
 		sort.Slice(rows, func(i, j int) bool { return rows[i].DataElems < rows[j].DataElems })
 		for i := 1; i < len(rows); i++ {
 			if rows[i].DataElems == rows[i-1].DataElems {
@@ -114,7 +123,7 @@ func (t *Table) Kinds() []platform.Kind { return t.kinds }
 // Kernels returns the kernel names present, sorted.
 func (t *Table) Kernels() []string {
 	names := make([]string, 0, len(t.byKernel))
-	for k := range t.byKernel {
+	for k := range t.byKernel { //lint:ordered — collected then sorted just below
 		names = append(names, k)
 	}
 	sort.Strings(names)
@@ -231,7 +240,7 @@ func (t *Table) Entries() []Entry {
 	for _, kernel := range t.Kernels() {
 		for _, row := range t.byKernel[kernel] {
 			cp := Entry{Kernel: row.Kernel, DataElems: row.DataElems, TimeMs: map[platform.Kind]float64{}}
-			for k, v := range row.TimeMs {
+			for k, v := range row.TimeMs { //lint:ordered — per-key map copy; writes are independent
 				cp.TimeMs[k] = v
 			}
 			out = append(out, cp)

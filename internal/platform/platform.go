@@ -111,7 +111,7 @@ func (s *System) Kinds() []Kind {
 		seen[p.Kind] = true
 	}
 	kinds := make([]Kind, 0, len(seen))
-	for k := range seen {
+	for k := range seen { //lint:ordered — collected then sorted just below
 		kinds = append(kinds, k)
 	}
 	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
@@ -223,7 +223,19 @@ func (b *Builder) Build() (*System, error) {
 		return nil, fmt.Errorf("platform: system has no processors")
 	}
 	n := len(b.procs)
-	for pair := range b.pairs {
+	// Validate links in sorted order: with several bad links, which one the
+	// error names must not depend on map iteration order.
+	links := make([][2]ProcID, 0, len(b.pairs))
+	for pair := range b.pairs { //lint:ordered — collected then sorted just below
+		links = append(links, pair)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i][0] != links[j][0] {
+			return links[i][0] < links[j][0]
+		}
+		return links[i][1] < links[j][1]
+	})
+	for _, pair := range links {
 		for _, id := range pair {
 			if id < 0 || int(id) >= n {
 				return nil, fmt.Errorf("platform: link references unknown processor %d", id)

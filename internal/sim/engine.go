@@ -688,6 +688,8 @@ func (e *engine) commit(a Assignment) {
 // badAssignment re-derives why commit rejected the assignment and panics
 // with the diagnostic. Kept out of commit so the //apt:hotpath discipline
 // (no fmt, no allocation) holds on the accepting path.
+//
+//apt:coldpath
 func (e *engine) badAssignment(a Assignment) {
 	if a.Kernel < 0 || int(a.Kernel) >= e.costs.g.NumKernels() {
 		panic(fmt.Sprintf("sim: policy %s assigned unknown kernel %d", e.pol.Name(), a.Kernel))
@@ -740,7 +742,11 @@ func (e *engine) start(k dfg.KernelID, p platform.ProcID) error {
 
 // startDegraded computes the degraded-path timings: the nominal durations
 // integrated over the time-varying speeds of the degradation schedule.
-// Split from start so the nominal hot path stays free of error formatting.
+// Split from start so the nominal hot path stays free of error formatting;
+// degraded mode integrates piecewise speed schedules and is allowed to
+// allocate, so the hotpath closure stops here.
+//
+//apt:coldpath
 func (e *engine) startDegraded(k dfg.KernelID, p platform.ProcID, pl *Placement) error {
 	execStart, err := e.transferFinish(k, p, pl.TransferStart)
 	if err != nil {

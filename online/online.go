@@ -224,6 +224,13 @@ type Scheduler struct {
 		scratch []*liveTask
 	}
 
+	// placedBuf is the sweeper's private staging area for tasks admitted
+	// by a sweep: placements are collected under pend.mu, but the run-queue
+	// sends happen only after the unlock (never block while holding a
+	// lock). Only the single sweeper goroutine touches it; cleared after
+	// every sweep so no *liveTask outlives its dispatch.
+	placedBuf []placedTask
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup // workers
@@ -592,17 +599,29 @@ func (s *Scheduler) sweeper() {
 	}
 }
 
+// placedTask is one sweep admission staged for dispatch after unlock.
+type placedTask struct {
+	lt *liveTask
+	p  ProcID
+}
+
 // sweep drains the stripes into the FCFS queue and walks it in submission
 // order, dispatching every task the placement rule admits right now.
+// Placement (which claims processors via CAS) runs under pend.mu; the
+// run-queue sends are deferred until after the unlock so the sweeper never
+// performs a channel send while holding the lock. The claims made under
+// the lock keep each target processor reserved until its send lands, so
+// the deferred sends preserve the capacity-1 never-blocks invariant and
+// the FCFS dispatch order.
 func (s *Scheduler) sweep() {
+	dis := s.placedBuf[:0]
 	s.pend.mu.Lock()
 	q := s.gatherLocked()
-	w, placed := 0, 0
+	w := 0
 	for i := 0; i < len(q); i++ {
 		lt := q[i]
 		if p, ok := s.tryPlace(lt); ok {
-			s.dispatch(lt, p)
-			placed++
+			dis = append(dis, placedTask{lt: lt, p: p})
 			continue
 		}
 		q[w] = lt
@@ -615,7 +634,12 @@ func (s *Scheduler) sweep() {
 	}
 	s.pend.q = q[:w]
 	s.pend.mu.Unlock()
-	if placed > 0 {
+	for i := range dis {
+		s.dispatch(dis[i].lt, dis[i].p)
+		dis[i] = placedTask{} // drop the reference once handed over
+	}
+	s.placedBuf = dis[:0]
+	if placed := len(dis); placed > 0 {
 		s.queued.Add(int64(-placed))
 		if s.waiters.Load() > 0 {
 			s.spaceBroadcast()
