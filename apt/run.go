@@ -253,6 +253,18 @@ func (r *Result) ChromeTrace(w io.Writer) error {
 	return report.WriteChromeTrace(w, r.res, r.wl.g, r.sys)
 }
 
+// WriteTrace exports a run's placements in Chrome's trace-event format —
+// one lane per processor, one slice per kernel, each slice carrying the
+// queue-wait and estimate-vs-actual placement-quality args. It is the
+// package-level form of Result.ChromeTrace, for callers holding the
+// Result behind an interface or passing the writer separately.
+func WriteTrace(w io.Writer, r *Result) error {
+	if r == nil || r.res == nil {
+		return fmt.Errorf("apt: WriteTrace requires a completed run result")
+	}
+	return report.WriteChromeTrace(w, r.res, r.wl.g, r.sys)
+}
+
 // EnergyJ estimates the schedule's total energy in joules under the given
 // active/idle power draws per processor kind. A nil model selects
 // representative defaults for the paper's CPU/GPU/FPGA classes (the thesis

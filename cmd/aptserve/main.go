@@ -2,25 +2,43 @@
 // placement service a host process (or a load generator) can feed live
 // work into.
 //
-//	aptserve -addr :8080 -procs 4 -alpha 4
+//	aptserve -addr :8080 -procs 4 -alpha 4 -snapshot state.json
 //
-// Endpoints:
+// The API is versioned under /v1. Data-plane endpoints:
 //
-//	POST /submit  — one task: {"name","est_ms":[...],"xfer_ms":[...],"actual_ms":[...]}
-//	                blocks until the task finishes, returns the placement
-//	                and measured latencies.
-//	POST /graph   — a task DAG: {"tasks":[{"name","est_ms","deps":[...]},...]}
-//	                dependencies release as predecessors finish; returns
-//	                per-task placements and the graph makespan.
-//	GET  /stats   — live scheduler statistics: counters, current α and
-//	                sojourn / queue-wait percentiles.
-//	GET  /healthz — liveness: {"status":"ok",...}.
+//	POST /v1/submit   — one task: {"name","est_ms":[...],"xfer_ms":[...],"actual_ms":[...]}
+//	                    blocks until the task finishes, returns the placement
+//	                    and measured latencies. 429 when the admission queue
+//	                    is full, 409 once draining has begun.
+//	POST /v1/graph    — a task DAG: {"tasks":[{"name","est_ms","deps":[...]},...]}
+//	                    dependencies release as predecessors finish; returns
+//	                    per-task placements and the graph makespan.
+//
+// Ops endpoints (the config plane):
+//
+//	GET  /v1/stats    — live scheduler statistics: counters, current α and
+//	                    sojourn / queue-wait percentiles, as JSON.
+//	GET  /v1/metrics  — the same telemetry as Prometheus text-format
+//	                    exposition, including full latency histograms.
+//	GET  /v1/trace    — the last -trace-depth completions as a Chrome
+//	                    trace-event JSON array (load in chrome://tracing).
+//	GET  /v1/snapshot — the scheduler's accepted-but-unfinished work as a
+//	                    versioned JSON snapshot (see -snapshot).
+//	GET  /healthz     — liveness: {"status":"ok",...}; 503 while draining.
+//
+// Every JSON error uses the envelope {"error": "...", "code": "..."}.
+// The original unversioned routes (/submit, /graph, /stats) remain as
+// deprecated aliases of their /v1 counterparts and answer with a
+// "Deprecation: true" header.
 //
 // Tasks "execute" by sleeping their actual_ms on the chosen processor
 // (divided by -speed, so demos and smoke tests run fast); actual_ms
 // defaults to est_ms. On SIGINT/SIGTERM the server stops accepting HTTP
-// requests, drains the scheduler (bounded by -drain-timeout) and prints
-// the final stats as JSON on stderr.
+// requests and drains the scheduler (bounded by -drain-timeout). With
+// -snapshot FILE, work that does not finish within the drain bound is
+// written to FILE and reloaded on the next boot, so a restart loses no
+// accepted tasks (at-least-once: a task that was mid-execution runs
+// again). The final stats are printed as JSON on stderr.
 package main
 
 import (
@@ -36,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/online"
 )
 
@@ -46,20 +65,32 @@ type config struct {
 	speed        float64
 	autoTune     bool
 	drainTimeout time.Duration
+	snapshotPath string
+	traceDepth   int
+	maxBody      int64
 }
 
 // server glues the HTTP handlers to one online.Scheduler.
 type server struct {
-	sched *online.Scheduler
-	cfg   config
-	start time.Time
+	sched    *online.Scheduler
+	cfg      config
+	start    time.Time
+	draining chan struct{} // closed when shutdown begins; healthz turns 503
 }
 
 func newServer(cfg config) (*server, error) {
 	if cfg.speed <= 0 {
 		return nil, fmt.Errorf("aptserve: -speed must be positive, got %v", cfg.speed)
 	}
-	sc := online.Config{Procs: cfg.procs, Alpha: cfg.alpha, QueueLimit: cfg.queueLimit}
+	if cfg.maxBody <= 0 {
+		return nil, fmt.Errorf("aptserve: -max-body must be positive, got %d", cfg.maxBody)
+	}
+	sc := online.Config{
+		Procs:      cfg.procs,
+		Alpha:      cfg.alpha,
+		QueueLimit: cfg.queueLimit,
+		TraceDepth: cfg.traceDepth,
+	}
 	if cfg.autoTune {
 		sc.AutoTune = &online.AutoTuneConfig{}
 	}
@@ -68,22 +99,78 @@ func newServer(cfg config) (*server, error) {
 		return nil, err
 	}
 	sched.Start()
-	return &server{sched: sched, cfg: cfg, start: time.Now()}, nil
+	return &server{sched: sched, cfg: cfg, start: time.Now(), draining: make(chan struct{})}, nil
 }
 
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /submit", s.handleSubmit)
-	mux.HandleFunc("POST /graph", s.handleGraph)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /v1/submit", s.handleSubmit)
+	mux.HandleFunc("POST /v1/graph", s.handleGraph)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	// Unknown /v1 paths get the JSON envelope, not the default text 404.
+	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+		apiError(w, http.StatusNotFound, "not_found", fmt.Errorf("no such endpoint: %s %s", r.Method, r.URL.Path))
+	})
+	// PR 5 routes, kept as deprecated aliases of the /v1 handlers.
+	mux.HandleFunc("POST /submit", deprecated(s.handleSubmit))
+	mux.HandleFunc("POST /graph", deprecated(s.handleGraph))
+	mux.HandleFunc("GET /stats", deprecated(s.handleStats))
 	return mux
 }
 
-// drain quiesces the scheduler and returns its final stats.
-func (s *server) drain(ctx context.Context) (online.Stats, error) {
-	err := s.sched.Drain(ctx)
-	return s.sched.Stats(), err
+// deprecated marks an unversioned alias per RFC 9745 and points clients at
+// the versioned successor.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
+		h(w, r)
+	}
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func apiError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error(), Code: code})
+}
+
+// decode parses a bounded JSON request body; on failure it writes the
+// error envelope and returns false.
+func (s *server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			apiError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
+		apiError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decode: %w", err))
+		return false
+	}
+	return true
+}
+
+// submitFailure maps scheduler admission errors to the API contract.
+func submitFailure(err error) (int, string) {
+	switch {
+	case errors.Is(err, online.ErrQueueFull):
+		return http.StatusTooManyRequests, "queue_full"
+	case errors.Is(err, online.ErrClosed):
+		return http.StatusConflict, "draining"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable, "cancelled"
+	default:
+		return http.StatusBadRequest, "bad_request"
+	}
 }
 
 type taskRequest struct {
@@ -103,7 +190,9 @@ type taskResponse struct {
 }
 
 // task converts a request into a scheduler task whose Run sleeps the
-// actual time on the chosen processor, scaled by -speed.
+// actual time on the chosen processor, scaled by -speed. The request
+// itself rides along as the task's snapshot payload, so a restored server
+// can rebuild the same sleep behaviour.
 func (s *server) task(req taskRequest) (online.Task, error) {
 	actual := req.ActualMs
 	if actual == nil {
@@ -117,47 +206,71 @@ func (s *server) task(req taskRequest) (online.Task, error) {
 			return online.Task{}, fmt.Errorf("task %q: negative actual_ms %v on processor %d", req.Name, a, p)
 		}
 	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return online.Task{}, fmt.Errorf("task %q: encode payload: %w", req.Name, err)
+	}
 	speed := s.cfg.speed
 	return online.Task{
-		Name:   req.Name,
-		EstMs:  req.EstMs,
-		XferMs: req.XferMs,
-		Run: func(ctx context.Context, p online.ProcID) error {
-			d := time.Duration(actual[p] / speed * float64(time.Millisecond))
-			if d <= 0 {
-				return nil
-			}
-			select {
-			case <-time.After(d):
-				return nil
-			case <-ctx.Done():
-				return ctx.Err()
-			}
-		},
+		Name:    req.Name,
+		EstMs:   req.EstMs,
+		XferMs:  req.XferMs,
+		Payload: payload,
+		Run:     sleepRun(actual, speed),
 	}, nil
+}
+
+// sleepRun builds the standard "execute by sleeping" task body.
+func sleepRun(actualMs []float64, speed float64) func(context.Context, online.ProcID) error {
+	return func(ctx context.Context, p online.ProcID) error {
+		d := time.Duration(actualMs[p] / speed * float64(time.Millisecond))
+		if d <= 0 {
+			return nil
+		}
+		select {
+		case <-time.After(d):
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// rebuild reconstructs a snapshot task's Run from the taskRequest payload
+// the submit handler stored; a payload-less task sleeps its est_ms.
+func (s *server) rebuild(st online.SnapshotTask) (func(context.Context, online.ProcID) error, error) {
+	req := taskRequest{EstMs: st.EstMs}
+	if len(st.Payload) > 0 {
+		if err := json.Unmarshal(st.Payload, &req); err != nil {
+			return nil, fmt.Errorf("payload: %w", err)
+		}
+	}
+	actual := req.ActualMs
+	if len(actual) != len(st.EstMs) {
+		actual = st.EstMs
+	}
+	return sleepRun(actual, s.cfg.speed), nil
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req taskRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+	if !s.decode(w, r, &req) {
 		return
 	}
 	task, err := s.task(req)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		apiError(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
-	h, err := s.sched.SubmitCtx(r.Context(), task)
+	// Fast-fail admission: a full queue is the client's backpressure
+	// signal (429 + Retry-After), not a reason to pin a handler goroutine.
+	h, err := s.sched.Submit(task)
 	if err != nil {
-		status := http.StatusBadRequest
-		switch {
-		case errors.Is(err, online.ErrClosed):
-			status = http.StatusServiceUnavailable
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			status = http.StatusServiceUnavailable
+		status, code := submitFailure(err)
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
 		}
-		httpError(w, status, err)
+		apiError(w, status, code, err)
 		return
 	}
 	// Don't pin the handler goroutine on an abandoned request: the task
@@ -167,7 +280,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	select {
 	case res = <-h.Done:
 	case <-r.Context().Done():
-		httpError(w, http.StatusServiceUnavailable, r.Context().Err())
+		apiError(w, http.StatusServiceUnavailable, "cancelled", r.Context().Err())
 		return
 	}
 	resp := taskResponse{
@@ -200,15 +313,14 @@ type graphResponse struct {
 
 func (s *server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	var req graphRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+	if !s.decode(w, r, &req) {
 		return
 	}
 	tasks := make([]online.GraphTask, len(req.Tasks))
 	for i, tr := range req.Tasks {
 		task, err := s.task(tr.taskRequest)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			apiError(w, http.StatusBadRequest, "bad_request", err)
 			return
 		}
 		tasks[i] = online.GraphTask{Task: task, Deps: tr.Deps}
@@ -216,11 +328,8 @@ func (s *server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	h, err := s.sched.SubmitGraph(tasks)
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, online.ErrClosed) {
-			status = http.StatusServiceUnavailable
-		}
-		httpError(w, status, err)
+		status, code := submitFailure(err)
+		apiError(w, status, code, err)
 		return
 	}
 	var res online.GraphResult
@@ -228,7 +337,7 @@ func (s *server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	case res = <-h.Done:
 	case <-r.Context().Done():
 		// The graph keeps executing; only the abandoned handler returns.
-		httpError(w, http.StatusServiceUnavailable, r.Context().Err())
+		apiError(w, http.StatusServiceUnavailable, "cancelled", r.Context().Err())
 		return
 	}
 	resp := graphResponse{
@@ -257,7 +366,45 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.sched.Stats())
 }
 
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.sched.Stats()
+	soj, qw := s.sched.LatencyHistograms()
+	e := telemetry.SchedulerMetrics(st, soj, qw)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := e.WriteTo(w); err != nil {
+		log.Printf("aptserve: metrics write: %v", err)
+	}
+}
+
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	events := s.sched.Trace()
+	if events == nil {
+		apiError(w, http.StatusNotFound, "trace_disabled",
+			fmt.Errorf("placement tracing is disabled; start aptserve with -trace-depth N"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := telemetry.WriteChromeTrace(w, s.sched.NumProcs(), events); err != nil {
+		log.Printf("aptserve: trace write: %v", err)
+	}
+}
+
+func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	sn, err := s.sched.Snapshot()
+	if err != nil {
+		apiError(w, http.StatusInternalServerError, "internal", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sn)
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-s.draining:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	default:
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
 		"procs":     s.sched.NumProcs(),
@@ -276,8 +423,77 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// restore loads a boot snapshot if one exists, resubmits its tasks and
+// removes the file (it is consumed; the next shutdown writes a fresh one).
+func (s *server) restore(path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	sn, err := online.ReadSnapshot(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	n, err := online.Restore(context.Background(), s.sched, sn, s.rebuild)
+	if err != nil {
+		return fmt.Errorf("restored %d of %d tasks: %w", n, sn.Count(), err)
+	}
+	log.Printf("aptserve: restored %d tasks from snapshot %s", n, path)
+	return os.Remove(path)
+}
+
+// shutdown quiesces the scheduler; if the drain bound expires with work
+// still pending and -snapshot is set, the leftover tasks are captured to
+// disk before the hard close. Returns the final stats.
+func (s *server) shutdown(ctx context.Context) online.Stats {
+	err := s.sched.Quiesce(ctx)
+	if err != nil {
+		log.Printf("aptserve: drain: %v", err)
+		if s.cfg.snapshotPath != "" {
+			if werr := s.writeSnapshot(); werr != nil {
+				log.Printf("aptserve: snapshot: %v", werr)
+			}
+		}
+	}
+	s.sched.Close()
+	return s.sched.Stats()
+}
+
+// writeSnapshot captures unfinished work atomically (tmp file + rename) so
+// a crash mid-write never leaves a truncated snapshot for the next boot.
+func (s *server) writeSnapshot() error {
+	sn, err := s.sched.Snapshot()
+	if err != nil {
+		return err
+	}
+	if sn.Count() == 0 {
+		log.Printf("aptserve: no unfinished tasks; skipping snapshot")
+		return nil
+	}
+	tmp := s.cfg.snapshotPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := sn.WriteJSON(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, s.cfg.snapshotPath); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	log.Printf("aptserve: wrote %d unfinished tasks to snapshot %s", sn.Count(), s.cfg.snapshotPath)
+	return nil
 }
 
 func main() {
@@ -289,11 +505,19 @@ func main() {
 	flag.Float64Var(&cfg.speed, "speed", 1, "divide simulated execution times by this factor")
 	flag.BoolVar(&cfg.autoTune, "autotune", false, "auto-tune α from observed alt-assignment regret")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful drain bound on shutdown")
+	flag.StringVar(&cfg.snapshotPath, "snapshot", "", "snapshot unfinished work to FILE when the drain bound expires, and restore from it on boot")
+	flag.IntVar(&cfg.traceDepth, "trace-depth", 256, "completions kept for GET /v1/trace (0 disables tracing)")
+	flag.Int64Var(&cfg.maxBody, "max-body", 1<<20, "maximum JSON request body size in bytes")
 	flag.Parse()
 
 	srv, err := newServer(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if cfg.snapshotPath != "" {
+		if err := srv.restore(cfg.snapshotPath); err != nil {
+			log.Fatalf("aptserve: restore: %v", err)
+		}
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
 
@@ -308,16 +532,14 @@ func main() {
 		log.Fatal(err)
 	case <-ctx.Done():
 	}
+	close(srv.draining)
 	log.Printf("aptserve: draining (timeout %s)", cfg.drainTimeout)
 	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		log.Printf("aptserve: http shutdown: %v", err)
 	}
-	final, err := srv.drain(shutCtx)
-	if err != nil {
-		log.Printf("aptserve: drain: %v", err)
-	}
+	final := srv.shutdown(shutCtx)
 	out, _ := json.Marshal(final)
 	fmt.Fprintf(os.Stderr, "aptserve: final stats %s\n", out)
 }

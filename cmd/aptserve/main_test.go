@@ -23,6 +23,9 @@ func testServer(t *testing.T, cfg config) (*server, *httptest.Server) {
 	if cfg.speed == 0 {
 		cfg.speed = 1000 // millisecond estimates run in microseconds
 	}
+	if cfg.maxBody == 0 {
+		cfg.maxBody = 1 << 20
+	}
 	srv, err := newServer(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -163,10 +166,7 @@ func TestServeSmoke(t *testing.T) {
 	// Graceful drain publishes a final snapshot.
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	final, err := srv.drain(ctx)
-	if err != nil {
-		t.Fatal(err)
-	}
+	final := srv.shutdown(ctx)
 	if final.Completed != want {
 		t.Fatalf("final stats %+v, want %d completed", final, want)
 	}
@@ -203,12 +203,13 @@ func TestServeSubmitAfterDrain(t *testing.T) {
 	srv, ts := testServer(t, config{})
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
-	if _, err := srv.drain(ctx); err != nil {
-		t.Fatal(err)
-	}
+	srv.shutdown(ctx)
 	var out map[string]any
-	resp := postJSON(t, ts.URL+"/submit", taskRequest{Name: "late", EstMs: []float64{1, 1, 1}}, &out)
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("submit after drain: status %d, want 503", resp.StatusCode)
+	resp := postJSON(t, ts.URL+"/v1/submit", taskRequest{Name: "late", EstMs: []float64{1, 1, 1}}, &out)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("submit after drain: status %d, want 409", resp.StatusCode)
+	}
+	if out["code"] != "draining" {
+		t.Fatalf("submit after drain: code %v, want draining", out["code"])
 	}
 }

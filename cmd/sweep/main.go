@@ -18,6 +18,8 @@
 //
 //	sweep -type 2 -alphas 1,1.5,2,3,4,6,8,12,16,24,32 -rates 1,4,8,16
 //	sweep -type 1 -policy apt-r    # sweep the future-work variant
+//	sweep -type 2 -trace-out best.json   # also export the best-α schedule
+//	                                     # as a chrome://tracing JSON trace
 //	sweep -stream -arrival poisson -kernels 5000 -gaps 500,1000,2000
 //	sweep -stream -arrival bursty -gaps 100,200 -burst-len 2000 -idle-len 8000
 //	sweep -stream -arrival trace -trace arrivals.txt
@@ -87,6 +89,8 @@ func main() {
 		bias    = flag.String("bias", "", "robustness: per-kind estimate bias, e.g. gpu:1.3,cpu:0.9 (actual = estimate × factor)")
 		degrade = flag.String("degrade", "", "robustness: degradation events, e.g. slow:1:2:1000:5000,off:2:8000:9000,link:0:1:4:0:2000")
 		gap     = flag.Float64("gap", 500, "robustness: Poisson arrival mean gap ms (0 = closed submit-at-zero model)")
+
+		traceOut = flag.String("trace-out", "", "write a Chrome trace (chrome://tracing JSON) of the best-α run on the largest suite graph to FILE (α-sweep mode only)")
 	)
 	flag.Parse()
 	var err error
@@ -112,7 +116,7 @@ func main() {
 			alpha: *alpha, rate: *rate, seed: *seed, gapMs: *gap,
 		})
 	default:
-		err = run(os.Stdout, *typ, *alphas, *rates, *polName, *seed, *sizes)
+		err = run(os.Stdout, *typ, *alphas, *rates, *polName, *seed, *sizes, *traceOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -459,7 +463,7 @@ type point struct {
 	makespan, lambda float64
 }
 
-func run(w io.Writer, typ int, alphaCSV, rateCSV, polName string, seed int64, sizeCSV string) error {
+func run(w io.Writer, typ int, alphaCSV, rateCSV, polName string, seed int64, sizeCSV, traceOut string) error {
 	alphas, err := parseFloats(alphaCSV)
 	if err != nil {
 		return fmt.Errorf("alphas: %w", err)
@@ -530,6 +534,40 @@ func run(w io.Writer, typ int, alphaCSV, rateCSV, polName string, seed int64, si
 	for _, r := range rates {
 		b := bestPerRate[r]
 		fmt.Fprintf(w, "thresholdbrk at %g GB/s: α = %g (avg makespan %.3f ms)\n", r, b.alpha, b.makespan)
+	}
+
+	if traceOut != "" {
+		// Re-run the best-α point of the first rate on the largest suite
+		// graph and export its placements. The note goes to stderr: stdout
+		// is the sweep table, which CI byte-diffs against a golden copy.
+		best := bestPerRate[rates[0]]
+		pol, err := apt.ParsePolicy(polName, best.alpha, 1)
+		if err != nil {
+			return err
+		}
+		biggest := workloads[0]
+		for _, wl := range workloads[1:] {
+			if wl.NumKernels() > biggest.NumKernels() {
+				biggest = wl
+			}
+		}
+		res, err := apt.Run(biggest, apt.PaperMachine(rates[0]), pol, nil)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := apt.WriteTrace(f, res); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sweep: wrote Chrome trace of %d kernels (α=%g, rate=%g GB/s) to %s\n",
+			biggest.NumKernels(), best.alpha, rates[0], traceOut)
 	}
 	return nil
 }

@@ -30,7 +30,7 @@ func rerunIdentical(t *testing.T, name string, f func(w *bytes.Buffer) error) st
 
 func TestBatchModeDeterministic(t *testing.T) {
 	out := rerunIdentical(t, "batch", func(w *bytes.Buffer) error {
-		return run(w, 1, "2,4", "4", "apt", 7, "20,30")
+		return run(w, 1, "2,4", "4", "apt", 7, "20,30", "")
 	})
 	if !strings.Contains(out, "thresholdbrk") {
 		t.Errorf("batch output missing thresholdbrk summary:\n%s", out)

@@ -18,8 +18,10 @@
 //	go run ./cmd/aptserve -addr :8080 -procs 3 -speed 1000 &
 //	go run ./examples/online-host -url http://localhost:8080 -n 200 -c 8
 //
-// posts n tasks from c concurrent clients over HTTP, then fetches /stats
-// and prints the server-side percentile summary.
+// posts n tasks from c concurrent clients to /v1/submit, fetches
+// /v1/stats for the server-side percentile summary, then scrapes
+// /v1/metrics and prints the Prometheus exposition — so the example
+// doubles as a manual check of the ops surface.
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"sync"
@@ -148,7 +151,7 @@ func loadGenerate(url string, n, c int) error {
 			for i := w; i < n; i += c {
 				k := kinds[i%len(kinds)]
 				body, _ := json.Marshal(submitReq{Name: fmt.Sprintf("%s-%d", k.name, i), EstMs: k.est})
-				resp, err := client.Post(url+"/submit", "application/json", bytes.NewReader(body))
+				resp, err := client.Post(url+"/v1/submit", "application/json", bytes.NewReader(body))
 				if err != nil {
 					errCh <- err
 					return
@@ -169,7 +172,7 @@ func loadGenerate(url string, n, c int) error {
 	default:
 	}
 
-	resp, err := client.Get(url + "/stats")
+	resp, err := client.Get(url + "/v1/stats")
 	if err != nil {
 		return err
 	}
@@ -186,6 +189,18 @@ func loadGenerate(url string, n, c int) error {
 		st.Sojourn.P50Ms, st.Sojourn.P95Ms, st.Sojourn.P99Ms)
 	fmt.Printf("queue wait p50 %8.3f ms  p95 %8.3f ms  p99 %8.3f ms\n",
 		st.QueueWait.P50Ms, st.QueueWait.P95Ms, st.QueueWait.P99Ms)
+
+	// Final ops check: what a Prometheus scrape of this server would see.
+	mresp, err := client.Get(url + "/v1/metrics")
+	if err != nil {
+		return err
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n/v1/metrics scrape:\n%s", body)
 	return nil
 }
 

@@ -67,6 +67,12 @@ func WriteChromeTrace(w io.Writer, res *sim.Result, g *dfg.Graph, sys *platform.
 				"kernel":    k.Name,
 				"dataElems": fmt.Sprintf("%d", k.DataElems),
 				"lambdaMs":  fmt.Sprintf("%.3f", pl.Lambda()),
+				// Placement-quality fields: the estimate the APT decision
+				// compared against, what actually ran, and the queueing
+				// delay the decision traded off.
+				"queue_wait_ms": fmt.Sprintf("%.3f", pl.QueueWait()),
+				"best_est_ms":   fmt.Sprintf("%.3f", pl.BestExecMs),
+				"actual_ms":     fmt.Sprintf("%.3f", pl.Finish-pl.ExecStart),
 			},
 		})
 	}

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+	"repro/online"
+)
+
+// SchedulerMetrics renders one online.Stats snapshot (plus optional
+// latency histograms from Scheduler.LatencyHistograms) as a Prometheus
+// exposition. All inputs are caller-owned copies, so this never contends
+// with the scheduler.
+func SchedulerMetrics(st online.Stats, sojourn, qwait *stats.Histogram) *Exposition {
+	e := &Exposition{}
+	e.Gauge("apt_alpha", "Current flexibility factor of the APT placement rule.", st.Alpha)
+	e.Gauge("apt_queue_depth", "Tasks currently waiting for a processor.", float64(st.Queued))
+	e.Gauge("apt_uptime_ms", "Wall-clock milliseconds since the scheduler started.", st.UptimeMs)
+	e.Counter("apt_submitted_total", "Accepted tasks, including graph-released ones.", float64(st.Submitted))
+	e.Counter("apt_completed_total", "Finished tasks across all processors.", float64(st.Completed))
+	e.Counter("apt_rejected_total", "Queue-full refusals and cancelled blocking submits.", float64(st.Rejected))
+	e.Counter("apt_alt_assignments_total", "Placements on a non-optimal processor via the threshold rule.", float64(st.AltAssignments))
+	perProc := make([]float64, len(st.PerProc))
+	for i, c := range st.PerProc {
+		perProc[i] = float64(c)
+	}
+	e.CounterPer("apt_proc_completed_total", "Finished tasks per processor.", "proc", perProc)
+	e.CounterPer("apt_proc_busy_ms_total", "Cumulative execution wall-clock per processor, milliseconds.", "proc", st.PerProcBusyMs)
+	if st.UptimeMs > 0 {
+		util := make([]float64, len(st.PerProcBusyMs))
+		for i, busy := range st.PerProcBusyMs {
+			u := busy / st.UptimeMs
+			if u < 0 {
+				u = 0
+			} else if u > 1 {
+				u = 1
+			}
+			util[i] = u
+		}
+		e.GaugePer("apt_proc_utilization", "Fraction of uptime each processor spent executing.", "proc", util)
+	}
+	e.Histogram("apt_sojourn_ms", "Arrival-to-finish latency, milliseconds.", sojourn)
+	e.Histogram("apt_queue_wait_ms", "Arrival-to-execution-start delay, milliseconds.", qwait)
+	return e
+}
+
+// chrome trace-event rows for the live scheduler; mirrors the simulator's
+// internal/report writer but sources online.TraceEvent.
+type liveTraceEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`
+	Dur   float64           `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders live scheduler completions as a Chrome
+// trace-event JSON array (load into chrome://tracing or Perfetto): one
+// lane per processor, one slice per completion, with the queue-wait and
+// estimate-vs-actual pair attached as slice args. Events should be
+// oldest-first, as Scheduler.Trace returns them.
+func WriteChromeTrace(w io.Writer, procs int, events []online.TraceEvent) error {
+	rows := make([]liveTraceEvent, 0, procs+len(events))
+	for p := 0; p < procs; p++ {
+		rows = append(rows, liveTraceEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   p,
+			Args:  map[string]string{"name": fmt.Sprintf("proc %d", p)},
+		})
+	}
+	for _, ev := range events {
+		cat := "exec"
+		if ev.Alt {
+			cat = "exec,alt"
+		}
+		rows = append(rows, liveTraceEvent{
+			Name:  ev.Name,
+			Cat:   cat,
+			Phase: "X",
+			TS:    ev.StartMs * 1000, // trace timestamps are microseconds
+			Dur:   (ev.FinishMs - ev.StartMs) * 1000,
+			PID:   1,
+			TID:   int(ev.Proc),
+			Args: map[string]string{
+				"seq":           fmt.Sprintf("%d", ev.Seq),
+				"queue_wait_ms": fmtFloat(ev.QueueWaitMs),
+				"est_ms":        fmtFloat(ev.EstMs),
+				"best_est_ms":   fmtFloat(ev.BestEstMs),
+				"actual_ms":     fmtFloat(ev.ActualMs),
+				"alt":           fmt.Sprintf("%t", ev.Alt),
+				"failed":        fmt.Sprintf("%t", ev.Failed),
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(rows)
+}

@@ -3,6 +3,7 @@ package online
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/dfg"
@@ -47,6 +48,7 @@ type GraphHandle struct {
 type graphJob struct {
 	s     *Scheduler
 	g     *dfg.Graph
+	id    uint64 // registry key; see Scheduler.graphs
 	tasks []*liveTask
 	done  chan GraphResult
 
@@ -54,6 +56,7 @@ type graphJob struct {
 	results []Result
 	indeg   []int32
 	failed  []bool // a predecessor (transitively) failed
+	settled []bool // result recorded (finished, failed or skipped)
 	remain  int
 	err     error
 }
@@ -111,6 +114,7 @@ func (s *Scheduler) SubmitGraph(tasks []GraphTask) (*GraphHandle, error) {
 		results: make([]Result, n),
 		indeg:   make([]int32, n),
 		failed:  make([]bool, n),
+		settled: make([]bool, n),
 		remain:  n,
 	}
 	for i := range tasks {
@@ -123,12 +127,44 @@ func (s *Scheduler) SubmitGraph(tasks []GraphTask) (*GraphHandle, error) {
 		job.indeg[i] = int32(g.InDegree(dfg.KernelID(i)))
 	}
 
+	// Register before the first release: a snapshot taken mid-submission
+	// must see the job, or its not-yet-finished tasks would be lost.
+	s.graphRegister(job)
+
 	// Release the entry frontier; sequence stamps are assigned in ID
 	// order, so simultaneous entries keep a deterministic queue order.
 	for _, id := range g.Entries() {
 		job.release(int(id))
 	}
 	return &GraphHandle{Done: job.done}, nil
+}
+
+// graphRegister tracks an in-flight graph job for Snapshot.
+func (s *Scheduler) graphRegister(j *graphJob) {
+	s.graphs.mu.Lock()
+	s.graphs.next++
+	j.id = s.graphs.next
+	s.graphs.m[j.id] = j
+	s.graphs.mu.Unlock()
+}
+
+// graphUnregister drops a completed job from the registry.
+func (s *Scheduler) graphUnregister(id uint64) {
+	s.graphs.mu.Lock()
+	delete(s.graphs.m, id)
+	s.graphs.mu.Unlock()
+}
+
+// graphJobs returns the in-flight jobs in submission order.
+func (s *Scheduler) graphJobs() []*graphJob {
+	s.graphs.mu.Lock()
+	jobs := make([]*graphJob, 0, len(s.graphs.m))
+	for _, j := range s.graphs.m {
+		jobs = append(jobs, j)
+	}
+	s.graphs.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].id < jobs[b].id })
+	return jobs
 }
 
 // release admits one ready task. Scheduling errors (scheduler closed) are
@@ -147,6 +183,7 @@ func (j *graphJob) release(i int) {
 func (j *graphJob) taskDone(i int, res Result) {
 	j.mu.Lock()
 	j.results[i] = res
+	j.settled[i] = true
 	j.remain--
 	if res.Err != nil {
 		j.failed[i] = true
@@ -182,6 +219,42 @@ func (j *graphJob) taskDone(i int, res Result) {
 		})
 	}
 	if finished {
+		j.s.graphUnregister(j.id)
 		j.done <- GraphResult{Results: j.results, Err: j.err}
 	}
+}
+
+// snapshotFrontier serialises the job's unfinished portion: every node not
+// yet settled and not marked by a failed predecessor, with dependency
+// edges remapped to the surviving subset. Edges to already-finished
+// predecessors are dropped — their completion is the fact the snapshot
+// preserves. Returns false when nothing remains to carry over.
+func (j *graphJob) snapshotFrontier() (SnapshotGraph, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.remain == 0 {
+		return SnapshotGraph{}, false
+	}
+	idx := make(map[int]int, j.remain)
+	var keep []int
+	for i := range j.tasks {
+		if !j.settled[i] && !j.failed[i] {
+			idx[i] = len(keep)
+			keep = append(keep, i)
+		}
+	}
+	if len(keep) == 0 {
+		return SnapshotGraph{}, false
+	}
+	sg := SnapshotGraph{Tasks: make([]SnapshotTask, len(keep))}
+	for out, i := range keep {
+		var deps []int
+		for _, p := range j.g.Preds(dfg.KernelID(i)) {
+			if np, ok := idx[int(p)]; ok {
+				deps = append(deps, np)
+			}
+		}
+		sg.Tasks[out] = snapTask(&j.tasks[i].task, deps)
+	}
+	return sg, true
 }

@@ -50,6 +50,7 @@ package online
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -80,6 +81,11 @@ type Task struct {
 	// Run executes the task on the chosen processor. A nil Run is a no-op
 	// (useful for tests and draining).
 	Run func(ctx context.Context, p ProcID) error
+	// Payload carries opaque caller data through Snapshot and Restore: Run
+	// functions cannot be serialised, so a snapshot records the payload
+	// instead and the restoring process rebuilds Run from it (see
+	// RebuildFunc). The scheduler never interprets it.
+	Payload json.RawMessage
 }
 
 // Result reports one finished task.
@@ -135,6 +141,13 @@ type Stats struct {
 	Queued         int   `json:"queued"`
 	AltAssignments int   `json:"alt_assignments"`
 	PerProc        []int `json:"per_proc"` // tasks completed per processor
+	// PerProcBusyMs is the cumulative wall-clock execution time per
+	// processor in milliseconds — with UptimeMs it yields per-processor
+	// utilisation.
+	PerProcBusyMs []float64 `json:"per_proc_busy_ms"`
+	// UptimeMs is the wall-clock time since Start in milliseconds (frozen
+	// in the final post-Close snapshot).
+	UptimeMs float64 `json:"uptime_ms"`
 	// Alpha is the current flexibility factor — the configured value, or
 	// the live one when auto-tuning is enabled.
 	Alpha float64 `json:"alpha"`
@@ -175,6 +188,10 @@ type Config struct {
 	QueueLimit int
 	// AutoTune, when non-nil, enables the live α adjustment loop.
 	AutoTune *AutoTuneConfig
+	// TraceDepth, when positive, keeps a ring buffer of the last
+	// TraceDepth completions for placement-trace export (see Trace). Zero
+	// disables tracing; completion recording then costs one branch.
+	TraceDepth int
 }
 
 // Scheduler dispatches tasks onto worker processors with the APT rule.
@@ -208,6 +225,24 @@ type Scheduler struct {
 	stripes []stripe
 	smask   uint64
 	procs   []proc
+
+	// startNs is Start's wall-clock instant in Unix nanoseconds (0 before
+	// Start); trace timestamps and Stats.UptimeMs are measured from it.
+	startNs atomic.Int64
+
+	// traceDepth and the trace ring record the last N completions when
+	// Config.TraceDepth is positive. Workers append on the completion
+	// path; Trace copies chronologically. See trace.go.
+	traceDepth int
+	trace      traceRing
+
+	// graphs tracks in-flight SubmitGraph jobs so Snapshot can serialise
+	// their unfinished frontiers; jobs unregister when they complete.
+	graphs struct {
+		mu   sync.Mutex
+		next uint64
+		m    map[uint64]*graphJob
+	}
 
 	wakeCh    chan struct{} // capacity 1: batched sweep wakeups
 	sweepDone chan struct{}
@@ -266,6 +301,7 @@ type telemetry struct {
 	completed int
 	alt       int
 	regretSum float64 // Σ chosen-cost / best-estimate over alt assignments
+	busyMs    float64 // cumulative execution wall-clock, for utilisation
 	sojourn   *stats.Histogram
 	qwait     *stats.Histogram
 }
@@ -309,16 +345,24 @@ func NewWithConfig(cfg Config) (*Scheduler, error) {
 	for ns < cfg.Procs && ns < 64 {
 		ns <<= 1
 	}
-	s := &Scheduler{
-		np:      cfg.Procs,
-		qlimit:  qlimit,
-		tune:    tune,
-		stripes: make([]stripe, ns),
-		smask:   uint64(ns - 1),
-		procs:   make([]proc, cfg.Procs),
-		wakeCh:  make(chan struct{}, 1),
-		spaceCh: make(chan struct{}),
+	if cfg.TraceDepth < 0 {
+		return nil, fmt.Errorf("online: TraceDepth must be >= 0, got %d", cfg.TraceDepth)
 	}
+	s := &Scheduler{
+		np:         cfg.Procs,
+		qlimit:     qlimit,
+		tune:       tune,
+		stripes:    make([]stripe, ns),
+		smask:      uint64(ns - 1),
+		procs:      make([]proc, cfg.Procs),
+		wakeCh:     make(chan struct{}, 1),
+		spaceCh:    make(chan struct{}),
+		traceDepth: cfg.TraceDepth,
+	}
+	if cfg.TraceDepth > 0 {
+		s.trace.buf = make([]TraceEvent, 0, cfg.TraceDepth)
+	}
+	s.graphs.m = make(map[uint64]*graphJob)
 	s.alphaBits.Store(math.Float64bits(cfg.Alpha))
 	for i := range s.procs {
 		s.procs[i].runq = make(chan *liveTask, 1)
@@ -347,6 +391,7 @@ func (s *Scheduler) Start() {
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.sweepDone = make(chan struct{})
+	s.startNs.Store(time.Now().UnixNano())
 	s.wg.Add(s.np)
 	for p := 0; p < s.np; p++ {
 		go s.worker(p)
@@ -737,6 +782,7 @@ func (s *Scheduler) worker(p int) {
 		finish := time.Now()
 		sojourn := durMs(finish.Sub(lt.arrival))
 		qwait := durMs(start.Sub(lt.arrival))
+		actual := durMs(finish.Sub(start))
 		t := &pr.tele
 		t.mu.Lock()
 		t.completed++
@@ -744,9 +790,27 @@ func (s *Scheduler) worker(p int) {
 			t.alt++
 			t.regretSum += lt.ratio
 		}
+		t.busyMs += actual
 		t.sojourn.Add(sojourn)
 		t.qwait.Add(qwait)
 		t.mu.Unlock()
+		if s.traceDepth > 0 {
+			start0 := time.Unix(0, s.startNs.Load())
+			s.recordTrace(TraceEvent{
+				Seq:         lt.seq,
+				Name:        lt.task.Name,
+				Proc:        ProcID(p),
+				Alt:         lt.alt,
+				ArrivalMs:   durMs(lt.arrival.Sub(start0)),
+				StartMs:     durMs(start.Sub(start0)),
+				FinishMs:    durMs(finish.Sub(start0)),
+				QueueWaitMs: qwait,
+				EstMs:       lt.task.EstMs[p],
+				BestEstMs:   lt.bestEst,
+				ActualMs:    actual,
+				Failed:      err != nil,
+			})
+		}
 		s.completed.Add(1)
 		pr.busy.Store(false)
 		s.wake()
@@ -771,8 +835,23 @@ func (s *Scheduler) Close() {
 // admitted task has finished or ctx expires, then closes. On timeout the
 // remaining tasks fail with ErrClosed and ctx's error is returned.
 func (s *Scheduler) Drain(ctx context.Context) error {
+	err := s.Quiesce(ctx)
+	if err != nil && !s.started.Load() {
+		return err // never started; nothing to shut down
+	}
+	s.shutdown()
+	return err
+}
+
+// Quiesce is the first half of Drain: it stops accepting external work
+// (graph successors keep releasing) and waits until every admitted task
+// has settled or ctx expires, returning ctx's error on timeout. Unlike
+// Drain it does not shut the scheduler down — workers keep running and
+// still-queued tasks stay queued, so on timeout the caller can capture
+// them with Snapshot before calling Close.
+func (s *Scheduler) Quiesce(ctx context.Context) error {
 	if !s.started.Load() {
-		return fmt.Errorf("online: Drain before Start")
+		return fmt.Errorf("online: Quiesce before Start")
 	}
 	s.draining.Store(true)
 	s.spaceBroadcast() // wake SubmitCtx waiters so they observe the close
@@ -781,18 +860,14 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 	for s.inflight.Load() != 0 {
 		runtime.Gosched()
 	}
-	var err error
-poll:
 	for s.settled.Load() < s.submitted.Load() {
 		select {
 		case <-ctx.Done():
-			err = ctx.Err()
-			break poll
+			return ctx.Err()
 		case <-time.After(200 * time.Microsecond):
 		}
 	}
-	s.shutdown()
-	return err
+	return nil
 }
 
 // shutdown is the single exit path shared by Close and Drain.
@@ -847,18 +922,23 @@ func (s *Scheduler) Stats() Stats {
 func (st *Stats) clone() Stats {
 	out := *st
 	out.PerProc = append([]int(nil), st.PerProc...)
+	out.PerProcBusyMs = append([]float64(nil), st.PerProcBusyMs...)
 	return out
 }
 
 // snapshot merges the per-processor telemetry shards into one Stats.
 func (s *Scheduler) snapshot() Stats {
 	out := Stats{
-		Submitted: int(s.submitted.Load()),
-		Completed: int(s.completed.Load()),
-		Rejected:  int(s.rejected.Load()),
-		Queued:    int(s.queued.Load()),
-		Alpha:     s.Alpha(),
-		PerProc:   make([]int, s.np),
+		Submitted:     int(s.submitted.Load()),
+		Completed:     int(s.completed.Load()),
+		Rejected:      int(s.rejected.Load()),
+		Queued:        int(s.queued.Load()),
+		Alpha:         s.Alpha(),
+		PerProc:       make([]int, s.np),
+		PerProcBusyMs: make([]float64, s.np),
+	}
+	if ns := s.startNs.Load(); ns != 0 {
+		out.UptimeMs = durMs(time.Since(time.Unix(0, ns)))
 	}
 	soj, _ := stats.NewHistogram(histGrowth)
 	qw, _ := stats.NewHistogram(histGrowth)
@@ -867,6 +947,7 @@ func (s *Scheduler) snapshot() Stats {
 		t.mu.Lock()
 		out.PerProc[p] = t.completed
 		out.AltAssignments += t.alt
+		out.PerProcBusyMs[p] = t.busyMs
 		_ = soj.Merge(t.sojourn)
 		_ = qw.Merge(t.qwait)
 		t.mu.Unlock()
@@ -874,6 +955,23 @@ func (s *Scheduler) snapshot() Stats {
 	out.Sojourn = latencySummary(soj)
 	out.QueueWait = latencySummary(qw)
 	return out
+}
+
+// LatencyHistograms returns merged copies of the live sojourn and
+// queue-wait histograms, for full-distribution export (e.g. Prometheus
+// bucket series) beyond the percentile summaries in Stats. The copies are
+// independent of the scheduler and safe to mutate.
+func (s *Scheduler) LatencyHistograms() (sojourn, qwait *stats.Histogram) {
+	soj, _ := stats.NewHistogram(histGrowth)
+	qw, _ := stats.NewHistogram(histGrowth)
+	for p := range s.procs {
+		t := &s.procs[p].tele
+		t.mu.Lock()
+		_ = soj.Merge(t.sojourn)
+		_ = qw.Merge(t.qwait)
+		t.mu.Unlock()
+	}
+	return soj, qw
 }
 
 func latencySummary(h *stats.Histogram) LatencySummary {

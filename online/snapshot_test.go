@@ -1,0 +1,249 @@
+package online
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gateRun returns a Run that blocks until the gate channel closes.
+func gateRun(gate <-chan struct{}) func(context.Context, ProcID) error {
+	return func(ctx context.Context, p ProcID) error {
+		select {
+		case <-gate:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// TestQuiesceTimeoutKeepsSchedulerAlive: Quiesce must return the context
+// error without shutting down, so a Snapshot can still be taken and the
+// blocked work can still finish afterwards.
+func TestQuiesceTimeoutKeepsSchedulerAlive(t *testing.T) {
+	s, err := New(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Close()
+
+	gate := make(chan struct{})
+	h, err := s.Submit(Task{Name: "blocked", EstMs: []float64{1}, Run: gateRun(gate)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Quiesce(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Quiesce = %v, want deadline exceeded", err)
+	}
+	// Still alive: snapshotting works and the task can complete.
+	if _, err := s.Snapshot(); err != nil {
+		t.Fatalf("Snapshot after Quiesce timeout: %v", err)
+	}
+	close(gate)
+	res := <-h.Done
+	if res.Err != nil {
+		t.Fatalf("blocked task after gate: %v", res.Err)
+	}
+}
+
+// TestSnapshotRestoreRoundTrip is the zero-loss proof: on a 1-processor
+// scheduler, block the worker, pile up a dependency chain plus independent
+// tasks, snapshot, hard-close (losing them locally), then restore into a
+// fresh scheduler and watch every captured task run to completion with its
+// dependency order intact.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s, err := New(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+
+	gate := make(chan struct{})
+	gh, err := s.SubmitGraph([]GraphTask{
+		{Task: Task{Name: "a", EstMs: []float64{1}, Run: gateRun(gate)}},
+		{Task: Task{Name: "b", EstMs: []float64{1}, Payload: json.RawMessage(`{"k":"v"}`)}, Deps: []int{0}},
+		{Task: Task{Name: "c", EstMs: []float64{1}}, Deps: []int{1}},
+		{Task: Task{Name: "d", EstMs: []float64{1}}, Deps: []int{2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queued []*Handle
+	for _, name := range []string{"q1", "q2"} {
+		h, err := s.Submit(Task{Name: name, EstMs: []float64{1}, XferMs: []float64{0.5}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, h)
+	}
+
+	sn, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a is executing (at-least-once: captured), b..d unreleased, q1 q2
+	// queued.
+	if got := sn.Count(); got != 6 {
+		t.Fatalf("snapshot count = %d, want 6 (got %+v)", got, sn)
+	}
+	if len(sn.Tasks) != 2 || len(sn.Graphs) != 1 || len(sn.Graphs[0].Tasks) != 4 {
+		t.Fatalf("snapshot shape: %d tasks, %d graphs", len(sn.Tasks), len(sn.Graphs))
+	}
+	if g := sn.Graphs[0]; string(g.Tasks[1].Payload) != `{"k":"v"}` {
+		t.Errorf("payload not carried: %q", g.Tasks[1].Payload)
+	}
+	if sn.Tasks[0].XferMs == nil {
+		t.Errorf("xfer_ms not carried for queued task")
+	}
+
+	// Serialise through JSON like the server does.
+	var buf bytes.Buffer
+	if err := sn.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sn2, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn2.Count() != sn.Count() || sn2.Procs != 1 {
+		t.Fatalf("round-tripped snapshot differs: %+v", sn2)
+	}
+
+	// Hard close: the captured tasks fail locally with ErrClosed.
+	close(gate)
+	s.Close()
+	<-gh.Done
+	for _, h := range queued {
+		<-h.Done
+	}
+
+	// Restore into a fresh scheduler, recording execution order.
+	s2, err := New(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Start()
+	defer s2.Close()
+	var mu sync.Mutex
+	var ran []string
+	var wg sync.WaitGroup
+	wg.Add(sn2.Count())
+	rebuild := func(st SnapshotTask) (func(context.Context, ProcID) error, error) {
+		name := st.Name
+		return func(ctx context.Context, p ProcID) error {
+			mu.Lock()
+			ran = append(ran, name)
+			mu.Unlock()
+			wg.Done()
+			return nil
+		}, nil
+	}
+	n, err := Restore(context.Background(), s2, sn2, rebuild)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != sn2.Count() {
+		t.Fatalf("restored %d, want %d", n, sn2.Count())
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ran) != 6 {
+		t.Fatalf("ran %d tasks, want 6: %v", len(ran), ran)
+	}
+	pos := map[string]int{}
+	for i, name := range ran {
+		pos[name] = i
+	}
+	for _, edge := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}} {
+		if pos[edge[0]] > pos[edge[1]] {
+			t.Errorf("dependency order violated: %s ran after %s (%v)", edge[0], edge[1], ran)
+		}
+	}
+}
+
+// TestSnapshotExcludesDoomedTasks: nodes marked by a failed predecessor
+// must not be captured — replaying them would rerun work the graph
+// semantics already declared dead.
+func TestSnapshotExcludesDoomedTasks(t *testing.T) {
+	s, err := New(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Close()
+
+	gate := make(chan struct{})
+	cStarted := make(chan struct{})
+	boom := errors.New("boom")
+	gh, err := s.SubmitGraph([]GraphTask{
+		// Both entries contend for the single worker: a runs first (entry
+		// release order), fails and dooms b; then c starts and blocks.
+		// The same worker goroutine finishes a's failure propagation
+		// before it picks up c, so once c has started, b is settled.
+		{Task: Task{Name: "a", EstMs: []float64{1}, Run: func(ctx context.Context, p ProcID) error { return boom }}},
+		{Task: Task{Name: "b", EstMs: []float64{1}}, Deps: []int{0}},
+		{Task: Task{Name: "c", EstMs: []float64{1}, Run: func(ctx context.Context, p ProcID) error {
+			close(cStarted)
+			return gateRun(gate)(ctx, p)
+		}}},
+		{Task: Task{Name: "d", EstMs: []float64{1}}, Deps: []int{2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-cStarted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("c never started")
+	}
+
+	sn, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sn.Graphs) != 1 {
+		t.Fatalf("want 1 graph frontier, got %+v", sn)
+	}
+	var names []string
+	for _, gt := range sn.Graphs[0].Tasks {
+		names = append(names, gt.Name)
+	}
+	sort.Strings(names)
+	if len(names) != 2 || names[0] != "c" || names[1] != "d" {
+		t.Fatalf("frontier = %v, want [c d] (b doomed by a's failure)", names)
+	}
+
+	close(gate)
+	res := <-gh.Done
+	if !errors.Is(res.Err, boom) {
+		t.Fatalf("graph err = %v, want boom", res.Err)
+	}
+}
+
+func TestReadSnapshotRejectsVersionSkew(t *testing.T) {
+	if _, err := ReadSnapshot(bytes.NewReader([]byte(`{"version":99,"procs":1,"alpha":4}`))); err == nil {
+		t.Fatal("version 99 accepted")
+	}
+	sn := &Snapshot{Version: SnapshotVersion, Procs: 2, Alpha: 4}
+	s, err := New(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Close()
+	if _, err := Restore(context.Background(), s, sn, nil); err == nil {
+		t.Fatal("processor-count mismatch accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package online
+
+import "sync"
+
+// TraceEvent records one completed placement: where the task ran, how the
+// decision related to its estimates, and the measured timings. Timestamps
+// are milliseconds since Start, so events from one scheduler run share a
+// time base and can be laid out on processor lanes directly.
+type TraceEvent struct {
+	// Seq is the global submission-order stamp (1-based).
+	Seq uint64 `json:"seq"`
+	// Name labels the task; Proc is the processor it ran on.
+	Name string `json:"name"`
+	Proc ProcID `json:"proc"`
+	// Alt marks placements on a non-optimal processor via the threshold
+	// rule.
+	Alt bool `json:"alt"`
+	// ArrivalMs, StartMs and FinishMs are milliseconds since Start.
+	ArrivalMs float64 `json:"arrival_ms"`
+	StartMs   float64 `json:"start_ms"`
+	FinishMs  float64 `json:"finish_ms"`
+	// QueueWaitMs is the arrival→execution-start delay.
+	QueueWaitMs float64 `json:"queue_wait_ms"`
+	// EstMs is the estimate for the processor the task actually ran on,
+	// BestEstMs the estimate on its best processor (equal unless Alt), and
+	// ActualMs the measured execution time — the estimate-vs-actual pair
+	// that placement-quality analysis needs.
+	EstMs     float64 `json:"est_ms"`
+	BestEstMs float64 `json:"best_est_ms"`
+	ActualMs  float64 `json:"actual_ms"`
+	// Failed is true when Run returned an error.
+	Failed bool `json:"failed,omitempty"`
+}
+
+// traceRing is a fixed-capacity ring of the most recent completions.
+// Workers append concurrently under mu; the buffer is allocated once at
+// construction, so steady-state recording allocates nothing.
+type traceRing struct {
+	mu  sync.Mutex
+	buf []TraceEvent
+	idx int // next overwrite position once len(buf) == cap(buf)
+}
+
+// recordTrace appends one completion to the ring, overwriting the oldest
+// event once the ring is full. Callers must have checked traceDepth > 0.
+func (s *Scheduler) recordTrace(ev TraceEvent) {
+	r := &s.trace
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.idx] = ev
+		r.idx = (r.idx + 1) % len(r.buf)
+	}
+	r.mu.Unlock()
+}
+
+// Trace returns the retained completions oldest-first. It returns nil when
+// tracing is disabled (Config.TraceDepth == 0) and an empty slice when
+// nothing has completed yet. The copy is independent of the ring.
+func (s *Scheduler) Trace() []TraceEvent {
+	if s.traceDepth <= 0 {
+		return nil
+	}
+	r := &s.trace
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceEvent, 0, len(r.buf))
+	out = append(out, r.buf[r.idx:]...)
+	out = append(out, r.buf[:r.idx]...)
+	return out
+}

@@ -1,0 +1,72 @@
+package online
+
+import (
+	"testing"
+)
+
+// TestTraceRingWraparound: with TraceDepth 4 and 7 completions, Trace must
+// return the last 4 in completion order with coherent fields.
+func TestTraceRingWraparound(t *testing.T) {
+	s, err := NewWithConfig(Config{Procs: 1, Alpha: 4, TraceDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Close()
+
+	names := []string{"t0", "t1", "t2", "t3", "t4", "t5", "t6"}
+	for _, name := range names {
+		h, err := s.Submit(Task{Name: name, EstMs: []float64{1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-h.Done // serialise completions so ring order is deterministic
+	}
+
+	evs := s.Trace()
+	if len(evs) != 4 {
+		t.Fatalf("Trace len = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		want := names[len(names)-4+i]
+		if ev.Name != want {
+			t.Errorf("event %d = %q, want %q (ring out of order: %+v)", i, ev.Name, want, evs)
+		}
+		if i > 0 && evs[i].Seq <= evs[i-1].Seq {
+			t.Errorf("seq not increasing: %d after %d", evs[i].Seq, evs[i-1].Seq)
+		}
+		if ev.Proc != 0 || ev.EstMs != 1 || ev.BestEstMs != 1 {
+			t.Errorf("event %d fields off: %+v", i, ev)
+		}
+		if ev.FinishMs < ev.StartMs || ev.StartMs < ev.ArrivalMs {
+			t.Errorf("event %d timestamps inverted: %+v", i, ev)
+		}
+		if ev.Failed || ev.Alt {
+			t.Errorf("event %d unexpected flags: %+v", i, ev)
+		}
+	}
+}
+
+// TestTraceDisabled: TraceDepth 0 keeps Trace nil and costs nothing.
+func TestTraceDisabled(t *testing.T) {
+	s, err := New(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Close()
+	h, err := s.Submit(Task{Name: "x", EstMs: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-h.Done
+	if evs := s.Trace(); evs != nil {
+		t.Fatalf("Trace with depth 0 = %v, want nil", evs)
+	}
+}
+
+func TestNegativeTraceDepthRejected(t *testing.T) {
+	if _, err := NewWithConfig(Config{Procs: 1, Alpha: 4, TraceDepth: -1}); err == nil {
+		t.Fatal("negative TraceDepth accepted")
+	}
+}
