@@ -4,8 +4,8 @@
 # Benchmarks recorded into the repository's perf trajectory (ns/op, B/op,
 # allocs/op snapshots that future PRs can gate against). Keep this filter
 # in sync with the bench-regression job's -bench pattern.
-BENCH_FILTER ?= BenchmarkRun|BenchmarkEngineRun|BenchmarkStreamRunner|BenchmarkScale|BenchmarkSweep|BenchmarkBatchSweep|BenchmarkOnlineSubmit|BenchmarkMetricsRender
-BENCH_RECORD ?= BENCH_PR7.json
+BENCH_FILTER ?= BenchmarkRun|BenchmarkEngineRun|BenchmarkStreamRunner|BenchmarkScale|BenchmarkSweep|BenchmarkBatchSweep|BenchmarkOnlineSubmit|BenchmarkOnlineRetry|BenchmarkMetricsRender
+BENCH_RECORD ?= BENCH_PR9.json
 
 .PHONY: test build vet lint bench bench-record
 

@@ -24,7 +24,15 @@
 //	                    trace-event JSON array (load in chrome://tracing).
 //	GET  /v1/snapshot — the scheduler's accepted-but-unfinished work as a
 //	                    versioned JSON snapshot (see -snapshot).
-//	GET  /healthz     — liveness: {"status":"ok",...}; 503 while draining.
+//	GET  /v1/procs    — per-processor health: circuit-breaker state,
+//	                    consecutive failures, trips.
+//	GET  /healthz     — readiness: {"status":"ok",...} when fully healthy;
+//	                    {"status":"degraded",...} (still 200) while any
+//	                    processor's breaker is open or half-open; 503 only
+//	                    while draining. "degraded" means the service keeps
+//	                    accepting and completing work on reduced capacity —
+//	                    load balancers should keep routing to it, while
+//	                    operators investigate the named processors.
 //
 // Every JSON error uses the envelope {"error": "...", "code": "..."}.
 // The original unversioned routes (/submit, /graph, /stats) remain as
@@ -39,6 +47,14 @@
 // written to FILE and reloaded on the next boot, so a restart loses no
 // accepted tasks (at-least-once: a task that was mid-execution runs
 // again). The final stats are printed as JSON on stderr.
+//
+// Fault tolerance: -timeout bounds each execution attempt, -retries N
+// gives every task N attempts with exponential backoff (-retry-backoff,
+// -retry-max-backoff, -retry-seed), and -breaker-fails enables
+// per-processor circuit breakers (-breaker-cooldown, -breaker-window,
+// -breaker-timeout-rate). -chaos SPEC injects seeded faults (crash/hang
+// windows, flaky processors or task kinds, added latency — see
+// online.ParseFaultPlan) into every task for resilience smoke tests.
 package main
 
 import (
@@ -68,12 +84,27 @@ type config struct {
 	snapshotPath string
 	traceDepth   int
 	maxBody      int64
+
+	timeoutMs       float64
+	retries         int
+	retryBackoff    time.Duration
+	retryMaxBackoff time.Duration
+	retrySeed       int64
+
+	breakerFails       int // 0 disables the circuit breakers
+	breakerCooldown    time.Duration
+	breakerWindow      int
+	breakerTimeoutRate float64
+
+	chaos     string
+	chaosSeed int64
 }
 
 // server glues the HTTP handlers to one online.Scheduler.
 type server struct {
 	sched    *online.Scheduler
 	cfg      config
+	chaos    *online.FaultPlan // nil without -chaos
 	start    time.Time
 	draining chan struct{} // closed when shutdown begins; healthz turns 503
 }
@@ -85,21 +116,50 @@ func newServer(cfg config) (*server, error) {
 	if cfg.maxBody <= 0 {
 		return nil, fmt.Errorf("aptserve: -max-body must be positive, got %d", cfg.maxBody)
 	}
+	if cfg.timeoutMs < 0 {
+		return nil, fmt.Errorf("aptserve: -timeout must be >= 0, got %v", cfg.timeoutMs)
+	}
 	sc := online.Config{
-		Procs:      cfg.procs,
-		Alpha:      cfg.alpha,
-		QueueLimit: cfg.queueLimit,
-		TraceDepth: cfg.traceDepth,
+		Procs:            cfg.procs,
+		Alpha:            cfg.alpha,
+		QueueLimit:       cfg.queueLimit,
+		TraceDepth:       cfg.traceDepth,
+		DefaultTimeoutMs: cfg.timeoutMs,
+		Retry: online.RetryPolicy{
+			MaxAttempts: cfg.retries,
+			BaseBackoff: cfg.retryBackoff,
+			MaxBackoff:  cfg.retryMaxBackoff,
+			JitterSeed:  cfg.retrySeed,
+		},
 	}
 	if cfg.autoTune {
 		sc.AutoTune = &online.AutoTuneConfig{}
+	}
+	if cfg.breakerFails > 0 {
+		sc.Breaker = &online.BreakerConfig{
+			FailureThreshold: cfg.breakerFails,
+			Cooldown:         cfg.breakerCooldown,
+			Window:           cfg.breakerWindow,
+			TimeoutRate:      cfg.breakerTimeoutRate,
+		}
+	}
+	var chaos *online.FaultPlan
+	if cfg.chaos != "" {
+		fp, err := online.ParseFaultPlan(cfg.chaos, cfg.chaosSeed)
+		if err != nil {
+			return nil, err
+		}
+		chaos = fp
 	}
 	sched, err := online.NewWithConfig(sc)
 	if err != nil {
 		return nil, err
 	}
 	sched.Start()
-	return &server{sched: sched, cfg: cfg, start: time.Now(), draining: make(chan struct{})}, nil
+	if chaos != nil {
+		chaos.Begin()
+	}
+	return &server{sched: sched, cfg: cfg, chaos: chaos, start: time.Now(), draining: make(chan struct{})}, nil
 }
 
 func (s *server) routes() *http.ServeMux {
@@ -110,6 +170,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /v1/procs", s.handleProcs)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	// Unknown /v1 paths get the JSON envelope, not the default text 404.
@@ -186,6 +247,7 @@ type taskResponse struct {
 	Alt         bool    `json:"alt"`
 	SojournMs   float64 `json:"sojourn_ms"`
 	QueueWaitMs float64 `json:"queue_wait_ms"`
+	Attempts    int     `json:"attempts,omitempty"`
 	Err         string  `json:"err,omitempty"`
 }
 
@@ -210,13 +272,16 @@ func (s *server) task(req taskRequest) (online.Task, error) {
 	if err != nil {
 		return online.Task{}, fmt.Errorf("task %q: encode payload: %w", req.Name, err)
 	}
-	speed := s.cfg.speed
+	run := sleepRun(actual, s.cfg.speed)
+	if s.chaos != nil {
+		run = s.chaos.Wrap(req.Name, run)
+	}
 	return online.Task{
 		Name:    req.Name,
 		EstMs:   req.EstMs,
 		XferMs:  req.XferMs,
 		Payload: payload,
-		Run:     sleepRun(actual, speed),
+		Run:     run,
 	}, nil
 }
 
@@ -249,7 +314,11 @@ func (s *server) rebuild(st online.SnapshotTask) (func(context.Context, online.P
 	if len(actual) != len(st.EstMs) {
 		actual = st.EstMs
 	}
-	return sleepRun(actual, s.cfg.speed), nil
+	run := sleepRun(actual, s.cfg.speed)
+	if s.chaos != nil {
+		run = s.chaos.Wrap(st.Name, run)
+	}
+	return run, nil
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -289,6 +358,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Alt:         res.Alt,
 		SojournMs:   res.SojournMs,
 		QueueWaitMs: res.QueueWaitMs,
+		Attempts:    res.Attempts,
 	}
 	if res.Err != nil {
 		resp.Err = res.Err.Error()
@@ -354,6 +424,7 @@ func (s *server) handleGraph(w http.ResponseWriter, r *http.Request) {
 			Alt:         tr.Alt,
 			SojournMs:   tr.SojournMs,
 			QueueWaitMs: tr.QueueWaitMs,
+			Attempts:    tr.Attempts,
 		}
 		if tr.Err != nil {
 			resp.Results[i].Err = tr.Err.Error()
@@ -398,6 +469,18 @@ func (s *server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, sn)
 }
 
+// handleProcs reports per-processor health: breaker state, consecutive
+// failures and trips — the observable form of the register/withdraw
+// lifecycle a multi-node cluster will need.
+func (s *server) handleProcs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"procs": s.sched.ProcHealth()})
+}
+
+// handleHealthz distinguishes three readiness states: "ok" (every breaker
+// closed), "degraded" (some breaker open or half-open — still 200, the
+// service completes work on reduced capacity; the affected processors are
+// listed in "unhealthy_procs") and "draining" (503: shutdown has begun,
+// stop routing here).
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	select {
 	case <-s.draining:
@@ -405,12 +488,24 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	default:
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
+	status := "ok"
+	var unhealthy []int
+	for _, ph := range s.sched.ProcHealth() {
+		if ph.State == "open" || ph.State == "half-open" {
+			status = "degraded"
+			unhealthy = append(unhealthy, int(ph.Proc))
+		}
+	}
+	body := map[string]any{
+		"status":    status,
 		"procs":     s.sched.NumProcs(),
 		"alpha":     s.sched.Alpha(),
 		"uptime_ms": durMs(time.Since(s.start)),
-	})
+	}
+	if len(unhealthy) > 0 {
+		body["unhealthy_procs"] = unhealthy
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func durMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -508,6 +603,17 @@ func main() {
 	flag.StringVar(&cfg.snapshotPath, "snapshot", "", "snapshot unfinished work to FILE when the drain bound expires, and restore from it on boot")
 	flag.IntVar(&cfg.traceDepth, "trace-depth", 256, "completions kept for GET /v1/trace (0 disables tracing)")
 	flag.Int64Var(&cfg.maxBody, "max-body", 1<<20, "maximum JSON request body size in bytes")
+	flag.Float64Var(&cfg.timeoutMs, "timeout", 0, "per-attempt execution bound in wall-clock ms (0 = none)")
+	flag.IntVar(&cfg.retries, "retries", 1, "execution attempts per task, including the first")
+	flag.DurationVar(&cfg.retryBackoff, "retry-backoff", time.Millisecond, "delay before the first retry (doubles per attempt)")
+	flag.DurationVar(&cfg.retryMaxBackoff, "retry-max-backoff", time.Second, "cap on the exponential retry backoff")
+	flag.Int64Var(&cfg.retrySeed, "retry-seed", 0, "seed for the deterministic retry jitter")
+	flag.IntVar(&cfg.breakerFails, "breaker-fails", 0, "consecutive failures that trip a processor's circuit breaker (0 disables breakers)")
+	flag.DurationVar(&cfg.breakerCooldown, "breaker-cooldown", time.Second, "open→half-open cooldown before a recovery probe")
+	flag.IntVar(&cfg.breakerWindow, "breaker-window", 20, "attempt outcomes tracked per processor for the timeout-rate rule")
+	flag.Float64Var(&cfg.breakerTimeoutRate, "breaker-timeout-rate", 0.5, "fraction of a full window that must time out to trip the breaker")
+	flag.StringVar(&cfg.chaos, "chaos", "", "fault-injection spec, e.g. \"flaky:0:0.6,crash:1:0:1500,lat:2:5\" (see online.ParseFaultPlan)")
+	flag.Int64Var(&cfg.chaosSeed, "chaos-seed", 1, "seed for the chaos plan's probability draws")
 	flag.Parse()
 
 	srv, err := newServer(cfg)

@@ -13,6 +13,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/online"
 )
 
 // submitN pushes n fast tasks through /v1/submit so the scheduler has a
@@ -395,7 +397,7 @@ func TestSnapshotCycleHTTP(t *testing.T) {
 		if err := json.Unmarshal(data, &sn); err != nil {
 			t.Fatalf("snapshot not JSON: %v", err)
 		}
-		if sn.Version != 1 || len(sn.Graphs) != 1 {
+		if sn.Version != online.SnapshotVersion || len(sn.Graphs) != 1 {
 			t.Fatalf("snapshot shape: %s", data)
 		}
 		snapCount = len(sn.Graphs[0].Tasks)

@@ -9,7 +9,9 @@
 // contended work onto alternative workers within the threshold. The demo
 // then submits a task DAG with SubmitGraph (dependencies release as
 // predecessors finish) and prints the live sojourn / queue-wait
-// percentiles the sharded scheduler collects.
+// percentiles the sharded scheduler collects. A final fault-tolerance
+// pass injects crashes on one processor and shows retries, attempt
+// counts and the circuit breaker tripping and recovering.
 //
 //	go run ./examples/online-host
 //
@@ -133,6 +135,73 @@ func runGraph() error {
 	return nil
 }
 
+// runFaults demonstrates the fault-tolerance layer: a flaky "GPU" fails
+// every first attempt for a while, tripping its circuit breaker; retries
+// with seeded backoff move work to the alternatives until the breaker's
+// half-open probe finds the processor healthy again.
+func runFaults() error {
+	s, err := online.NewWithConfig(online.Config{
+		Procs:            3,
+		Alpha:            8,
+		DefaultTimeoutMs: 250,
+		Retry: online.RetryPolicy{
+			MaxAttempts: 4,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  8 * time.Millisecond,
+			JitterSeed:  1,
+		},
+		Breaker: &online.BreakerConfig{
+			FailureThreshold: 2,
+			Cooldown:         30 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	s.Start()
+	defer s.Close()
+
+	// Injected faults: the GPU (proc 1) crashes every Run for the first
+	// 40 ms of the demo.
+	fp, err := online.ParseFaultPlan("crash:1:0:40", 7)
+	if err != nil {
+		return err
+	}
+	fp.Begin()
+
+	fmt.Println("\nfault demo (proc 1 crashing for 40 ms, retries + breaker on):")
+	var handles []*online.Handle
+	for i := 0; i < 12; i++ {
+		k := kinds[i%len(kinds)]
+		name := fmt.Sprintf("%s-%d", k.name, i)
+		h, err := s.Submit(online.Task{
+			Name:  name,
+			EstMs: k.est,
+			Run:   fp.Wrap(name, sleepRun(k.est)),
+		})
+		if err != nil {
+			return err
+		}
+		handles = append(handles, h)
+		time.Sleep(5 * time.Millisecond) // spread arrivals across the window
+	}
+	for _, h := range handles {
+		res := <-h.Done
+		if res.Err != nil {
+			fmt.Printf("  %-10s FAILED after %d attempts: %v\n", res.Task.Name, res.Attempts, res.Err)
+		} else if res.Attempts > 1 {
+			fmt.Printf("  %-10s recovered on attempt %d (processor %d)\n", res.Task.Name, res.Attempts, res.Proc)
+		}
+	}
+	st := s.Stats()
+	fmt.Printf("  retries %d, timeouts %d, breaker trips %d, failed %d/%d\n",
+		st.Retries, st.Timeouts, st.BreakerTrips, st.Failed, st.Submitted)
+	for _, ph := range s.ProcHealth() {
+		fmt.Printf("  proc %d: %-9s (healthy=%v, trips=%d)\n", ph.Proc, ph.State, ph.Healthy, ph.Trips)
+	}
+	return nil
+}
+
 // loadGenerate drives a running aptserve over HTTP: n tasks from c
 // concurrent clients, then the server-side /stats summary.
 func loadGenerate(url string, n, c int) error {
@@ -229,6 +298,9 @@ func main() {
 	fmt.Println("\nα=1 waits for each task's best worker (MET); larger α overflows")
 	fmt.Println("contended work within the threshold, shortening the burst makespan.")
 	if err := runGraph(); err != nil {
+		log.Fatal(err)
+	}
+	if err := runFaults(); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -22,6 +22,20 @@ func SchedulerMetrics(st online.Stats, sojourn, qwait *stats.Histogram) *Exposit
 	e.Counter("apt_completed_total", "Finished tasks across all processors.", float64(st.Completed))
 	e.Counter("apt_rejected_total", "Queue-full refusals and cancelled blocking submits.", float64(st.Rejected))
 	e.Counter("apt_alt_assignments_total", "Placements on a non-optimal processor via the threshold rule.", float64(st.AltAssignments))
+	e.Counter("apt_failed_total", "Tasks settled with an error after exhausting any retry budget.", float64(st.Failed))
+	e.Counter("apt_retries_total", "Task re-executions beyond each task's first attempt.", float64(st.Retries))
+	e.Counter("apt_timeouts_total", "Execution attempts that exceeded their time bound.", float64(st.Timeouts))
+	e.Counter("apt_panics_total", "Execution attempts that panicked (recovered by the worker).", float64(st.Panics))
+	e.Counter("apt_breaker_trips_total", "Circuit-breaker open transitions across all processors.", float64(st.BreakerTrips))
+	if len(st.PerProcHealthy) > 0 {
+		healthy := make([]float64, len(st.PerProcHealthy))
+		for i, h := range st.PerProcHealthy {
+			if h {
+				healthy[i] = 1
+			}
+		}
+		e.GaugePer("apt_proc_healthy", "Placement eligibility per processor (0 while its breaker is open).", "proc", healthy)
+	}
 	perProc := make([]float64, len(st.PerProc))
 	for i, c := range st.PerProc {
 		perProc[i] = float64(c)
@@ -95,6 +109,7 @@ func WriteChromeTrace(w io.Writer, procs int, events []online.TraceEvent) error 
 				"best_est_ms":   fmtFloat(ev.BestEstMs),
 				"actual_ms":     fmtFloat(ev.ActualMs),
 				"alt":           fmt.Sprintf("%t", ev.Alt),
+				"attempt":       fmt.Sprintf("%d", ev.Attempt),
 				"failed":        fmt.Sprintf("%t", ev.Failed),
 			},
 		})

@@ -48,6 +48,48 @@ func BenchmarkOnlineSubmit(b *testing.B) {
 	}
 }
 
+// BenchmarkOnlineRetry measures the full retry round trip: every task
+// fails its first attempt and succeeds on the second, so each iteration
+// pays execute → record → backoff timer → requeue → re-place → execute.
+// The backoff is a nominal 1ns so the retry machinery, not the wait,
+// is what gets measured.
+func BenchmarkOnlineRetry(b *testing.B) {
+	s, err := NewWithConfig(Config{
+		Procs:      4,
+		Alpha:      4,
+		QueueLimit: -1,
+		Retry:      RetryPolicy{MaxAttempts: 2, BaseBackoff: 1, MaxBackoff: 1, JitterSeed: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Start()
+	defer s.Close()
+	est := []float64{1, 2, 3, 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			var calls atomic.Int32
+			h, err := s.Submit(Task{Name: "r", EstMs: est, Run: func(context.Context, ProcID) error {
+				if calls.Add(1) == 1 {
+					return errBenchTransient
+				}
+				return nil
+			}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := <-h.Done
+			if res.Err != nil || res.Attempts != 2 {
+				b.Fatalf("res = %+v, want success on attempt 2", res)
+			}
+		}
+	})
+}
+
+var errBenchTransient = fmt.Errorf("transient bench failure")
+
 // BenchmarkSubmitDispatch measures end-to-end submit -> place -> run ->
 // complete throughput with no-op task bodies.
 func BenchmarkSubmitDispatch(b *testing.B) {

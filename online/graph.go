@@ -254,7 +254,7 @@ func (j *graphJob) snapshotFrontier() (SnapshotGraph, bool) {
 				deps = append(deps, np)
 			}
 		}
-		sg.Tasks[out] = snapTask(&j.tasks[i].task, deps)
+		sg.Tasks[out] = snapTask(&j.tasks[i].task, deps, int(j.tasks[i].attempt.Load()))
 	}
 	return sg, true
 }

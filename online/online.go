@@ -81,11 +81,20 @@ type Task struct {
 	// Run executes the task on the chosen processor. A nil Run is a no-op
 	// (useful for tests and draining).
 	Run func(ctx context.Context, p ProcID) error
+	// TimeoutMs bounds one execution attempt in milliseconds. 0 inherits
+	// Config.DefaultTimeoutMs; negative disables the bound for this task
+	// even when a default is set. A timed-out attempt frees its processor
+	// immediately and counts as a failure (ErrTimeout), subject to retry.
+	TimeoutMs float64
 	// Payload carries opaque caller data through Snapshot and Restore: Run
 	// functions cannot be serialised, so a snapshot records the payload
 	// instead and the restoring process rebuilds Run from it (see
 	// RebuildFunc). The scheduler never interprets it.
 	Payload json.RawMessage
+
+	// restoredAttempts seeds the attempt counter when a snapshot is
+	// restored, so a task's retry budget spans process restarts.
+	restoredAttempts int
 }
 
 // Result reports one finished task.
@@ -101,8 +110,12 @@ type Result struct {
 	// are zero for tasks that never started.
 	SojournMs   float64
 	QueueWaitMs float64
+	// Attempts is how many times the task was executed (1 without retries;
+	// 0 for tasks that never started).
+	Attempts int
 	// Err is the error returned by Run, or the scheduler's cancellation
-	// error.
+	// error. When the last of several attempts failed, Err wraps that
+	// attempt's error (errors.Is still matches ErrTimeout etc.).
 	Err error
 }
 
@@ -151,6 +164,21 @@ type Stats struct {
 	// Alpha is the current flexibility factor — the configured value, or
 	// the live one when auto-tuning is enabled.
 	Alpha float64 `json:"alpha"`
+	// Failed counts tasks that settled with an error (after exhausting any
+	// retry budget); Settled counts all delivered results, success or not.
+	Failed  int `json:"failed"`
+	Settled int `json:"settled"`
+	// Retries counts re-executions beyond each task's first attempt;
+	// Timeouts and Panics count attempts that ended by ErrTimeout or a
+	// recovered panic (both also count as failed attempts for the breaker).
+	Retries  int `json:"retries"`
+	Timeouts int `json:"timeouts"`
+	Panics   int `json:"panics"`
+	// BreakerTrips counts circuit-breaker open transitions across all
+	// processors; PerProcHealthy is each processor's live placement
+	// eligibility (false while its breaker is open).
+	BreakerTrips   int    `json:"breaker_trips"`
+	PerProcHealthy []bool `json:"per_proc_healthy"`
 	// Sojourn is the arrival→finish latency distribution; QueueWait the
 	// arrival→execution-start distribution.
 	Sojourn   LatencySummary `json:"sojourn"`
@@ -192,13 +220,25 @@ type Config struct {
 	// TraceDepth completions for placement-trace export (see Trace). Zero
 	// disables tracing; completion recording then costs one branch.
 	TraceDepth int
+	// DefaultTimeoutMs bounds each execution attempt of tasks that leave
+	// Task.TimeoutMs zero. 0 means no default bound.
+	DefaultTimeoutMs float64
+	// Retry enables automatic re-execution of failed attempts. The zero
+	// value gives every task a single attempt.
+	Retry RetryPolicy
+	// Breaker, when non-nil, enables per-processor circuit breakers (see
+	// BreakerConfig). Nil disables health tracking entirely.
+	Breaker *BreakerConfig
 }
 
 // Scheduler dispatches tasks onto worker processors with the APT rule.
 type Scheduler struct {
-	np     int
-	qlimit int
-	tune   *AutoTuneConfig
+	np           int
+	qlimit       int
+	tune         *AutoTuneConfig
+	defTimeoutMs float64
+	retry        RetryPolicy
+	brk          *BreakerConfig
 
 	alphaBits atomic.Uint64 // float64 bits of the live α
 	seq       atomic.Uint64 // global submission order stamp
@@ -213,6 +253,22 @@ type Scheduler struct {
 	// (a completed task may still be about to release successors).
 	settled atomic.Int64
 	waiters atomic.Int64 // blocked SubmitCtx callers
+
+	// Fault-tolerance counters, recorded on the completion path only —
+	// the clean submit hot path never touches them.
+	failed       atomic.Int64
+	retries      atomic.Int64
+	timeouts     atomic.Int64
+	panics       atomic.Int64
+	breakerTrips atomic.Int64
+
+	// rt parks tasks waiting out a retry backoff. Map ownership arbitrates
+	// delivery exactly once: whoever deletes a task's entry (its fired
+	// timer, or failRetries at shutdown) decides its fate.
+	rt struct {
+		mu sync.Mutex
+		m  map[*liveTask]*time.Timer
+	}
 
 	// lifeMu serialises the Start/Close lifecycle transitions, so a Close
 	// racing Start can never observe started==true with the context and
@@ -284,13 +340,17 @@ type stripe struct {
 	_  [32]byte // keep neighbouring stripes off one cache line
 }
 
-// proc is one worker processor: an idle/busy claim flag, a run queue the
-// placement path hands claimed tasks to, and single-writer telemetry.
+// proc is one worker processor: an idle/busy claim flag, a health flag
+// cleared while the circuit breaker is open, a run queue the placement
+// path hands claimed tasks to, breaker state (completion path only) and
+// single-writer telemetry.
 type proc struct {
-	busy atomic.Bool
-	runq chan *liveTask
-	tele telemetry
-	_    [32]byte
+	busy    atomic.Bool
+	healthy atomic.Bool
+	runq    chan *liveTask
+	brk     breaker
+	tele    telemetry
+	_       [32]byte
 }
 
 // telemetry is per-processor so recording needs no cross-processor
@@ -316,6 +376,17 @@ type liveTask struct {
 	bestEst float64
 	alt     bool
 	ratio   float64 // chosen cost / best estimate (1 on the best proc)
+	// timeout is the resolved per-attempt execution bound (0: none).
+	timeout time.Duration
+	// attempt counts executions started; atomic because Snapshot reads it
+	// while a worker may be incrementing.
+	attempt atomic.Int32
+	// avoid is the processor whose failure caused the pending retry (-1:
+	// none). Placement prefers any other viable processor, falling back to
+	// avoid only when nothing else can take the task. Written by the
+	// failing worker, read by the sweeper; the retry-timer handoff orders
+	// the accesses.
+	avoid int
 }
 
 // New returns a scheduler for numProcs processors with flexibility factor
@@ -337,6 +408,17 @@ func NewWithConfig(cfg Config) (*Scheduler, error) {
 	if err != nil {
 		return nil, err
 	}
+	retry, err := cfg.Retry.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	brk, err := cfg.Breaker.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if math.IsNaN(cfg.DefaultTimeoutMs) || math.IsInf(cfg.DefaultTimeoutMs, 0) {
+		return nil, fmt.Errorf("online: DefaultTimeoutMs must be finite, got %v", cfg.DefaultTimeoutMs)
+	}
 	qlimit := cfg.QueueLimit
 	if qlimit == 0 {
 		qlimit = DefaultQueueLimit
@@ -349,23 +431,31 @@ func NewWithConfig(cfg Config) (*Scheduler, error) {
 		return nil, fmt.Errorf("online: TraceDepth must be >= 0, got %d", cfg.TraceDepth)
 	}
 	s := &Scheduler{
-		np:         cfg.Procs,
-		qlimit:     qlimit,
-		tune:       tune,
-		stripes:    make([]stripe, ns),
-		smask:      uint64(ns - 1),
-		procs:      make([]proc, cfg.Procs),
-		wakeCh:     make(chan struct{}, 1),
-		spaceCh:    make(chan struct{}),
-		traceDepth: cfg.TraceDepth,
+		np:           cfg.Procs,
+		qlimit:       qlimit,
+		tune:         tune,
+		defTimeoutMs: cfg.DefaultTimeoutMs,
+		retry:        retry,
+		brk:          brk,
+		stripes:      make([]stripe, ns),
+		smask:        uint64(ns - 1),
+		procs:        make([]proc, cfg.Procs),
+		wakeCh:       make(chan struct{}, 1),
+		spaceCh:      make(chan struct{}),
+		traceDepth:   cfg.TraceDepth,
 	}
 	if cfg.TraceDepth > 0 {
 		s.trace.buf = make([]TraceEvent, 0, cfg.TraceDepth)
 	}
 	s.graphs.m = make(map[uint64]*graphJob)
+	s.rt.m = make(map[*liveTask]*time.Timer)
 	s.alphaBits.Store(math.Float64bits(cfg.Alpha))
 	for i := range s.procs {
 		s.procs[i].runq = make(chan *liveTask, 1)
+		s.procs[i].healthy.Store(true)
+		if brk != nil {
+			s.procs[i].brk.win = make([]int8, brk.Window)
+		}
 		s.procs[i].tele.sojourn, _ = stats.NewHistogram(histGrowth)
 		s.procs[i].tele.qwait, _ = stats.NewHistogram(histGrowth)
 	}
@@ -467,7 +557,20 @@ func (s *Scheduler) prepare(t Task, onDone func(Result)) (*liveTask, error) {
 	if t.XferMs != nil && len(t.XferMs) != s.np {
 		return nil, fmt.Errorf("online: task %q has %d transfer estimates for %d processors", t.Name, len(t.XferMs), s.np)
 	}
-	lt := &liveTask{task: t, onDone: onDone, pmin: pmin, bestEst: t.EstMs[pmin]}
+	if math.IsNaN(t.TimeoutMs) || math.IsInf(t.TimeoutMs, 0) {
+		return nil, fmt.Errorf("online: task %q has non-finite TimeoutMs %v", t.Name, t.TimeoutMs)
+	}
+	lt := &liveTask{task: t, onDone: onDone, pmin: pmin, bestEst: t.EstMs[pmin], avoid: -1}
+	tms := t.TimeoutMs
+	if tms == 0 {
+		tms = s.defTimeoutMs
+	}
+	if tms > 0 {
+		lt.timeout = time.Duration(tms * float64(time.Millisecond))
+	}
+	if t.restoredAttempts > 0 {
+		lt.attempt.Store(int32(t.restoredAttempts))
+	}
 	if onDone == nil {
 		lt.done = make(chan Result, 1)
 	}
@@ -549,42 +652,77 @@ func (s *Scheduler) enqueue(lt *liveTask, bounded bool) error {
 // Claims race lock-free: a failed compare-and-swap means another placement
 // won that processor, so the scan repeats against the shrunken idle set.
 //
+// A retrying task first excludes the processor that just failed it
+// (lt.avoid) — the thesis's alternative-processor idea applied to failure
+// instead of queueing — and falls back to that processor only when no
+// other viable placement exists, so a retry can never be stranded behind
+// its own preference. Unhealthy processors (open breakers) are excluded
+// unconditionally.
+//
 //apt:hotpath
 func (s *Scheduler) tryPlace(lt *liveTask) (ProcID, bool) {
 	t := &lt.task
-	for attempt := 0; attempt <= s.np; attempt++ {
-		if s.claim(lt.pmin) {
-			lt.alt, lt.ratio = false, 1
-			return ProcID(lt.pmin), true
+	avoid := lt.avoid
+	for pass := 0; pass < 2; pass++ {
+		for attempt := 0; attempt <= s.np; attempt++ {
+			if lt.pmin != avoid && s.claim(lt.pmin) {
+				lt.alt, lt.ratio = false, 1
+				return ProcID(lt.pmin), true
+			}
+			threshold := s.Alpha() * lt.bestEst
+			best, bestCost := -1, 0.0
+			for p := 0; p < s.np; p++ {
+				if p == lt.pmin || p == avoid || s.procs[p].busy.Load() || !s.procs[p].healthy.Load() {
+					continue
+				}
+				cost := t.EstMs[p]
+				if t.XferMs != nil {
+					cost += t.XferMs[p]
+				}
+				if cost <= threshold && (best < 0 || cost < bestCost) {
+					best, bestCost = p, cost
+				}
+			}
+			if best < 0 {
+				break
+			}
+			if s.claim(best) {
+				lt.alt, lt.ratio = true, bestCost/lt.bestEst
+				return ProcID(best), true
+			}
 		}
-		threshold := s.Alpha() * lt.bestEst
-		best, bestCost := -1, 0.0
-		for p := 0; p < s.np; p++ {
-			if p == lt.pmin || s.procs[p].busy.Load() {
-				continue
-			}
-			cost := t.EstMs[p]
-			if t.XferMs != nil {
-				cost += t.XferMs[p]
-			}
-			if cost <= threshold && (best < 0 || cost < bestCost) {
-				best, bestCost = p, cost
-			}
-		}
-		if best < 0 {
+		if avoid < 0 {
 			return 0, false
 		}
-		if s.claim(best) {
-			lt.alt, lt.ratio = true, bestCost/lt.bestEst
-			return ProcID(best), true
-		}
+		// Nothing viable besides the avoided processor: lift the
+		// preference and try again rather than stranding the retry.
+		avoid = -1
+		lt.avoid = -1
 	}
 	return 0, false
 }
 
+// claim marks a processor busy if it is idle and healthy. The health flag
+// is re-checked after the claim: a breaker may trip between the first read
+// and the compare-and-swap (the worker publishes healthy=false before
+// releasing busy, but a stale read could still win the race), and
+// releasing the claim here keeps "an open breaker never receives
+// placements" exact.
+//
 //apt:hotpath
 func (s *Scheduler) claim(p int) bool {
-	return s.procs[p].busy.CompareAndSwap(false, true)
+	pr := &s.procs[p]
+	if !pr.healthy.Load() {
+		return false
+	}
+	if !pr.busy.CompareAndSwap(false, true) {
+		return false
+	}
+	if !pr.healthy.Load() {
+		pr.busy.Store(false)
+		return false
+	}
+	return true
 }
 
 // dispatch hands a claimed task to its processor's run queue. The claim
@@ -742,18 +880,20 @@ func (s *Scheduler) gatherLocked() []*liveTask {
 	return q
 }
 
-// failPending delivers ErrClosed to every waiting task at shutdown.
+// failPending delivers ErrClosed to every waiting task at shutdown — both
+// the admission queue and the retry registry.
 func (s *Scheduler) failPending() {
 	s.pend.mu.Lock()
 	q := s.gatherLocked()
 	s.pend.q = nil
 	s.pend.mu.Unlock()
+	s.failRetries()
 	if len(q) == 0 {
 		return
 	}
 	s.queued.Add(int64(-len(q)))
 	for _, lt := range q {
-		s.deliver(lt, Result{Task: lt.task, Proc: -1, Err: ErrClosed})
+		s.deliver(lt, Result{Task: lt.task, Proc: -1, Attempts: int(lt.attempt.Load()), Err: ErrClosed})
 	}
 	s.spaceBroadcast()
 }
@@ -768,31 +908,46 @@ func (s *Scheduler) deliver(lt *liveTask, res Result) {
 	s.settled.Add(1)
 }
 
-// worker runs one processor: receive a claimed task, execute it, record
-// telemetry, release the claim and trigger a sweep.
+// worker runs one processor: receive a claimed task, execute one attempt
+// (bounded by the task's timeout, panics recovered), record telemetry and
+// the breaker outcome, release the claim and trigger a sweep. A failed
+// attempt with retry budget left parks the task in the retry registry
+// instead of settling it; the task re-enters placement when its backoff
+// expires. The breaker outcome is recorded before the busy release, so a
+// trip withdraws the processor before anyone can claim it again.
 func (s *Scheduler) worker(p int) {
 	defer s.wg.Done()
 	pr := &s.procs[p]
 	for lt := range pr.runq {
+		attempt := int(lt.attempt.Add(1))
 		start := time.Now()
-		var err error
-		if lt.task.Run != nil {
-			err = lt.task.Run(s.ctx, ProcID(p))
-		}
+		err := s.execute(lt, p)
 		finish := time.Now()
+		timedOut := false
+		if err != nil {
+			if errors.Is(err, ErrTimeout) {
+				timedOut = true
+				s.timeouts.Add(1)
+			} else if errors.Is(err, ErrPanicked) {
+				s.panics.Add(1)
+			}
+		}
+		retrying := err != nil && s.shouldRetry(attempt, err)
 		sojourn := durMs(finish.Sub(lt.arrival))
 		qwait := durMs(start.Sub(lt.arrival))
 		actual := durMs(finish.Sub(start))
 		t := &pr.tele
 		t.mu.Lock()
-		t.completed++
-		if lt.alt {
-			t.alt++
-			t.regretSum += lt.ratio
-		}
 		t.busyMs += actual
-		t.sojourn.Add(sojourn)
-		t.qwait.Add(qwait)
+		if !retrying {
+			t.completed++
+			if lt.alt {
+				t.alt++
+				t.regretSum += lt.ratio
+			}
+			t.sojourn.Add(sojourn)
+			t.qwait.Add(qwait)
+		}
 		t.mu.Unlock()
 		if s.traceDepth > 0 {
 			start0 := time.Unix(0, s.startNs.Load())
@@ -801,6 +956,7 @@ func (s *Scheduler) worker(p int) {
 				Name:        lt.task.Name,
 				Proc:        ProcID(p),
 				Alt:         lt.alt,
+				Attempt:     attempt,
 				ArrivalMs:   durMs(lt.arrival.Sub(start0)),
 				StartMs:     durMs(start.Sub(start0)),
 				FinishMs:    durMs(finish.Sub(start0)),
@@ -811,12 +967,27 @@ func (s *Scheduler) worker(p int) {
 				Failed:      err != nil,
 			})
 		}
+		s.recordOutcome(p, err != nil, timedOut)
+		if retrying {
+			s.retries.Add(1)
+			lt.avoid = p
+			pr.busy.Store(false)
+			s.wake()
+			s.retryLater(lt, attempt)
+			continue
+		}
 		s.completed.Add(1)
+		if err != nil {
+			s.failed.Add(1)
+			if attempt > 1 {
+				err = fmt.Errorf("online: %d attempts exhausted: %w", attempt, err)
+			}
+		}
 		pr.busy.Store(false)
 		s.wake()
 		s.deliver(lt, Result{
 			Task: lt.task, Proc: ProcID(p), Alt: lt.alt,
-			SojournMs: sojourn, QueueWaitMs: qwait, Err: err,
+			SojournMs: sojourn, QueueWaitMs: qwait, Attempts: attempt, Err: err,
 		})
 	}
 }
@@ -897,6 +1068,13 @@ func (s *Scheduler) shutdown() {
 			close(s.procs[p].runq)
 		}
 		s.wg.Wait()
+		// Workers are gone; any retry a final attempt registered has been
+		// (or will be, when its timer fires) settled with ErrClosed via the
+		// closed check in retryLater/requeue. Sweep the registry once more
+		// so the final snapshot sees those settles, then drop the cooldown
+		// timers.
+		s.failRetries()
+		s.stopBreakerTimers()
 		snap := s.snapshot()
 		s.final.Store(&snap)
 	} else {
@@ -923,19 +1101,27 @@ func (st *Stats) clone() Stats {
 	out := *st
 	out.PerProc = append([]int(nil), st.PerProc...)
 	out.PerProcBusyMs = append([]float64(nil), st.PerProcBusyMs...)
+	out.PerProcHealthy = append([]bool(nil), st.PerProcHealthy...)
 	return out
 }
 
 // snapshot merges the per-processor telemetry shards into one Stats.
 func (s *Scheduler) snapshot() Stats {
 	out := Stats{
-		Submitted:     int(s.submitted.Load()),
-		Completed:     int(s.completed.Load()),
-		Rejected:      int(s.rejected.Load()),
-		Queued:        int(s.queued.Load()),
-		Alpha:         s.Alpha(),
-		PerProc:       make([]int, s.np),
-		PerProcBusyMs: make([]float64, s.np),
+		Submitted:      int(s.submitted.Load()),
+		Completed:      int(s.completed.Load()),
+		Rejected:       int(s.rejected.Load()),
+		Queued:         int(s.queued.Load()),
+		Failed:         int(s.failed.Load()),
+		Settled:        int(s.settled.Load()),
+		Retries:        int(s.retries.Load()),
+		Timeouts:       int(s.timeouts.Load()),
+		Panics:         int(s.panics.Load()),
+		BreakerTrips:   int(s.breakerTrips.Load()),
+		Alpha:          s.Alpha(),
+		PerProc:        make([]int, s.np),
+		PerProcBusyMs:  make([]float64, s.np),
+		PerProcHealthy: make([]bool, s.np),
 	}
 	if ns := s.startNs.Load(); ns != 0 {
 		out.UptimeMs = durMs(time.Since(time.Unix(0, ns)))
@@ -951,6 +1137,7 @@ func (s *Scheduler) snapshot() Stats {
 		_ = soj.Merge(t.sojourn)
 		_ = qw.Merge(t.qwait)
 		t.mu.Unlock()
+		out.PerProcHealthy[p] = s.procs[p].healthy.Load()
 	}
 	out.Sojourn = latencySummary(soj)
 	out.QueueWait = latencySummary(qw)

@@ -7,9 +7,12 @@ import (
 	"io"
 )
 
-// SnapshotVersion is the format version written by Snapshot.WriteJSON and
-// required by ReadSnapshot. Bump it on any incompatible schema change.
-const SnapshotVersion = 1
+// SnapshotVersion is the format version written by Snapshot.WriteJSON.
+// ReadSnapshot and Restore accept any version from 1 up to this value:
+// version 2 added per-task attempt counts and per-processor breaker state,
+// both optional, so a version-1 snapshot restores with zeroed attempts and
+// closed breakers. Bump on any incompatible schema change.
+const SnapshotVersion = 2
 
 // SnapshotTask is one serialised task. Run functions cannot cross a
 // process boundary, so the snapshot carries the placement inputs and the
@@ -22,6 +25,19 @@ type SnapshotTask struct {
 	// Deps holds intra-graph dependency indices (into the enclosing
 	// SnapshotGraph.Tasks); always empty for independent tasks.
 	Deps []int `json:"deps,omitempty"`
+	// Attempts is how many execution attempts the task had already used at
+	// capture time (version 2+); a restored task resumes its retry budget
+	// from here instead of starting over.
+	Attempts int `json:"attempts,omitempty"`
+}
+
+// SnapshotBreaker is one processor's circuit-breaker state at capture time
+// (version 2+). Restore re-arms an open breaker with a fresh cooldown: the
+// fault that tripped it may well outlive the restart.
+type SnapshotBreaker struct {
+	State            string `json:"state"` // "closed", "open" or "half-open"
+	ConsecutiveFails int    `json:"consecutive_fails,omitempty"`
+	Trips            int    `json:"trips,omitempty"`
 }
 
 // SnapshotGraph is the unfinished frontier of one SubmitGraph job:
@@ -46,6 +62,9 @@ type Snapshot struct {
 
 	Tasks  []SnapshotTask  `json:"tasks,omitempty"`
 	Graphs []SnapshotGraph `json:"graphs,omitempty"`
+	// Breakers holds per-processor breaker state, indexed by processor
+	// (version 2+; empty when the captured scheduler ran without breakers).
+	Breakers []SnapshotBreaker `json:"breakers,omitempty"`
 }
 
 // Count returns the total number of tasks the snapshot carries.
@@ -58,13 +77,14 @@ func (sn *Snapshot) Count() int {
 }
 
 // snapTask deep-copies a task's serialisable fields.
-func snapTask(t *Task, deps []int) SnapshotTask {
+func snapTask(t *Task, deps []int, attempts int) SnapshotTask {
 	return SnapshotTask{
-		Name:    t.Name,
-		EstMs:   append([]float64(nil), t.EstMs...),
-		XferMs:  append([]float64(nil), t.XferMs...),
-		Payload: append(json.RawMessage(nil), t.Payload...),
-		Deps:    deps,
+		Name:     t.Name,
+		EstMs:    append([]float64(nil), t.EstMs...),
+		XferMs:   append([]float64(nil), t.XferMs...),
+		Payload:  append(json.RawMessage(nil), t.Payload...),
+		Deps:     deps,
+		Attempts: attempts,
 	}
 }
 
@@ -91,14 +111,30 @@ func (s *Scheduler) Snapshot() (*Snapshot, error) {
 	s.pend.q = q
 	for _, lt := range q {
 		if lt.done != nil {
-			sn.Tasks = append(sn.Tasks, snapTask(&lt.task, nil))
+			sn.Tasks = append(sn.Tasks, snapTask(&lt.task, nil, int(lt.attempt.Load())))
 		}
 	}
 	s.pend.mu.Unlock()
 
+	// Independent tasks waiting out a retry backoff (graph-internal
+	// retries are captured by their job's frontier below).
+	for _, lt := range s.retrySnapshot() {
+		sn.Tasks = append(sn.Tasks, snapTask(&lt.task, nil, int(lt.attempt.Load())))
+	}
+
 	for _, j := range s.graphJobs() {
 		if sg, ok := j.snapshotFrontier(); ok {
 			sn.Graphs = append(sn.Graphs, sg)
+		}
+	}
+
+	if s.brk != nil {
+		for _, ph := range s.ProcHealth() {
+			sn.Breakers = append(sn.Breakers, SnapshotBreaker{
+				State:            ph.State,
+				ConsecutiveFails: ph.ConsecutiveFails,
+				Trips:            ph.Trips,
+			})
 		}
 	}
 	return sn, nil
@@ -119,8 +155,8 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	if err := dec.Decode(&sn); err != nil {
 		return nil, fmt.Errorf("online: invalid snapshot: %w", err)
 	}
-	if sn.Version != SnapshotVersion {
-		return nil, fmt.Errorf("online: snapshot version %d, want %d", sn.Version, SnapshotVersion)
+	if sn.Version < 1 || sn.Version > SnapshotVersion {
+		return nil, fmt.Errorf("online: snapshot version %d, want 1..%d", sn.Version, SnapshotVersion)
 	}
 	return &sn, nil
 }
@@ -141,14 +177,23 @@ type RebuildFunc func(SnapshotTask) (func(context.Context, ProcID) error, error)
 // The target scheduler must be started and have the same processor count
 // as the snapshot (estimate vectors are per-processor).
 func Restore(ctx context.Context, s *Scheduler, sn *Snapshot, rebuild RebuildFunc) (int, error) {
-	if sn.Version != SnapshotVersion {
-		return 0, fmt.Errorf("online: snapshot version %d, want %d", sn.Version, SnapshotVersion)
+	if sn.Version < 1 || sn.Version > SnapshotVersion {
+		return 0, fmt.Errorf("online: snapshot version %d, want 1..%d", sn.Version, SnapshotVersion)
 	}
 	if sn.Procs != s.np {
 		return 0, fmt.Errorf("online: snapshot for %d processors, scheduler has %d", sn.Procs, s.np)
 	}
+	// Re-arm breaker state first, so restored work immediately avoids the
+	// processors that were unhealthy at capture time (no-op for version-1
+	// snapshots or breaker-less schedulers).
+	for p, sb := range sn.Breakers {
+		if p >= s.np {
+			break
+		}
+		s.restoreBreaker(p, sb)
+	}
 	restoreTask := func(st SnapshotTask) (Task, error) {
-		t := Task{Name: st.Name, EstMs: st.EstMs, XferMs: st.XferMs, Payload: st.Payload}
+		t := Task{Name: st.Name, EstMs: st.EstMs, XferMs: st.XferMs, Payload: st.Payload, restoredAttempts: st.Attempts}
 		if rebuild != nil {
 			run, err := rebuild(st)
 			if err != nil {

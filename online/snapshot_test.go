@@ -7,6 +7,7 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -245,5 +246,127 @@ func TestReadSnapshotRejectsVersionSkew(t *testing.T) {
 	defer s.Close()
 	if _, err := Restore(context.Background(), s, sn, nil); err == nil {
 		t.Fatal("processor-count mismatch accepted")
+	}
+}
+
+// TestSnapshotVersionSkew: a hand-written version-1 snapshot (no attempts,
+// no breakers) must still parse and restore into a current scheduler.
+func TestSnapshotVersionSkew(t *testing.T) {
+	v1 := `{
+  "version": 1,
+  "procs": 2,
+  "alpha": 4,
+  "tasks": [{"name": "legacy", "est_ms": [1, 2]}],
+  "graphs": [{"tasks": [
+    {"name": "root", "est_ms": [1, 2]},
+    {"name": "leaf", "est_ms": [2, 1], "deps": [0]}
+  ]}]
+}`
+	sn, err := ReadSnapshot(bytes.NewReader([]byte(v1)))
+	if err != nil {
+		t.Fatalf("v1 snapshot rejected: %v", err)
+	}
+	if sn.Count() != 3 {
+		t.Fatalf("count = %d, want 3", sn.Count())
+	}
+	s := newStarted(t, 2, 4)
+	n, err := Restore(context.Background(), s, sn, nil)
+	if err != nil || n != 3 {
+		t.Fatalf("restore = %d, %v", n, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Quiesce(ctx); err != nil {
+		t.Fatalf("restored v1 work never finished: %v", err)
+	}
+	// Future versions must be refused, not misread.
+	future := `{"version": 99, "procs": 2, "alpha": 4}`
+	if _, err := ReadSnapshot(bytes.NewReader([]byte(future))); err == nil {
+		t.Error("future snapshot version accepted")
+	}
+}
+
+// TestSnapshotCarriesAttemptsAndBreakers: a parked retry is captured with
+// its used attempts, breaker state round-trips, and the restored task
+// resumes its budget instead of starting over.
+func TestSnapshotCarriesAttemptsAndBreakers(t *testing.T) {
+	retry := RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Hour, MaxBackoff: time.Hour}
+	brk := &BreakerConfig{FailureThreshold: 1, Cooldown: 10 * time.Millisecond}
+	s, err := NewWithConfig(Config{Procs: 2, Alpha: 1, Retry: retry, Breaker: brk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	// Pinned to proc 0; fails once, parking a retry behind the 1h backoff
+	// and tripping proc 0's breaker.
+	h, err := s.Submit(Task{Name: "r", EstMs: []float64{1, 1000}, Run: func(context.Context, ProcID) error {
+		return errors.New("fail once")
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Retries == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("retry never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sn, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sn.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sn, err = ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.Version != SnapshotVersion {
+		t.Errorf("version = %d, want %d", sn.Version, SnapshotVersion)
+	}
+	if len(sn.Tasks) != 1 || sn.Tasks[0].Attempts != 1 {
+		t.Fatalf("tasks = %+v, want one task with 1 attempt", sn.Tasks)
+	}
+	if len(sn.Breakers) != 2 || sn.Breakers[0].State != "open" || sn.Breakers[0].Trips != 1 {
+		t.Fatalf("breakers = %+v, want proc 0 open with 1 trip", sn.Breakers)
+	}
+	s.Close()
+	<-h.Done // parked retry fails with ErrClosed locally
+
+	// Restore into a fresh scheduler: 1 of the 2-attempt budget is already
+	// used, so the restored attempt is the last — it settles immediately
+	// with the terminal error. Had the budget been reset, the failure
+	// would park behind the 1h backoff and Quiesce would time out.
+	// Breaker state carries over too: proc 0 starts open, then recovers
+	// via its cooldown.
+	s2, err := NewWithConfig(Config{Procs: 2, Alpha: 1, Retry: retry, Breaker: brk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Start()
+	defer s2.Close()
+	var calls int32
+	n, err := Restore(context.Background(), s2, sn, func(SnapshotTask) (func(context.Context, ProcID) error, error) {
+		return func(context.Context, ProcID) error {
+			atomic.AddInt32(&calls, 1)
+			return errors.New("still failing")
+		}, nil
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("restore = %d, %v", n, err)
+	}
+	if ph := s2.ProcHealth(); ph[0].Trips != 1 {
+		t.Errorf("restored trips = %d, want 1", ph[0].Trips)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s2.Quiesce(ctx); err != nil {
+		t.Fatalf("restored task never settled (retry budget not carried over?): %v", err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Errorf("restored task ran %d attempts, want 1 (budget carried over)", got)
 	}
 }

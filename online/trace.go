@@ -15,6 +15,9 @@ type TraceEvent struct {
 	// Alt marks placements on a non-optimal processor via the threshold
 	// rule.
 	Alt bool `json:"alt"`
+	// Attempt is which execution attempt this event records (1-based;
+	// above 1 only for retried tasks).
+	Attempt int `json:"attempt,omitempty"`
 	// ArrivalMs, StartMs and FinishMs are milliseconds since Start.
 	ArrivalMs float64 `json:"arrival_ms"`
 	StartMs   float64 `json:"start_ms"`
