@@ -121,10 +121,10 @@ func runOne(w *sim.Worker, cfg RunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := res.Validate(cfg.Workload.g, cfg.Machine.sys); err != nil {
+	if err := res.ValidateLanes(cfg.Workload.g, cfg.Machine.sys, run.Opt.Lanes); err != nil {
 		return nil, fmt.Errorf("internal error, invalid schedule: %w", err)
 	}
-	return assemble(res, cfg.Workload, cfg.Machine, pol), nil
+	return assemble(res, cfg.Workload, cfg.Machine, pol, run.Opt.Lanes), nil
 }
 
 // costsMemoKey identifies one prepared cost oracle in a worker's memo. It
@@ -152,13 +152,15 @@ type tableMemoKey struct {
 type policyMemoKey struct{ p Policy }
 
 // memoCosts returns the prepared cost oracle for (g, m, tab, cfg), from
-// the worker's memo when one is supplied.
-func memoCosts(w *sim.Worker, g *dfg.Graph, m *Machine, tab *lut.Table, cfg sim.CostConfig) (*sim.Costs, error) {
+// the worker's memo when one is supplied. The lane count only shards the
+// row fills — prepared tables are byte-identical for every value — so it
+// is deliberately absent from the memo key.
+func memoCosts(w *sim.Worker, g *dfg.Graph, m *Machine, tab *lut.Table, cfg sim.CostConfig, lanes int) (*sim.Costs, error) {
 	if w == nil {
-		return sim.PrepareCosts(g, m.sys, tab, cfg)
+		return sim.PrepareCostsLanes(g, m.sys, tab, cfg, lanes)
 	}
 	v, err := w.Memo(costsMemoKey{g: g, m: m, cfg: cfg, tab: tab}, func() (any, error) {
-		return sim.PrepareCosts(g, m.sys, tab, cfg)
+		return sim.PrepareCostsLanes(g, m.sys, tab, cfg, lanes)
 	})
 	if err != nil {
 		return nil, err
@@ -184,10 +186,11 @@ func prepareRun(cfg RunConfig, w *sim.Worker) (sim.BatchRun, sim.Policy, error) 
 	if opts.SerialTransfers {
 		mode = sim.TransferSum
 	}
-	costCfg := sim.CostConfig{ElemBytes: opts.ElemBytes, Mode: mode}
+	costCfg := sim.CostConfig{ElemBytes: opts.ElemBytes, Mode: mode, Float32Exec: opts.Float32Costs}
 	simOpt := sim.Options{
 		SchedOverheadMs: opts.SchedOverheadMs,
 		ArrivalTimes:    opts.Arrivals,
+		Lanes:           opts.Lanes,
 	}
 
 	// A perturbation splits estimation from reality: the estimate table the
@@ -204,7 +207,7 @@ func prepareRun(cfg RunConfig, w *sim.Worker) (sim.BatchRun, sim.Policy, error) 
 			// estimate/actual split remains (degradation still applies).
 			estTab = actualTab
 		} else if actualTab != estTab {
-			actual, err := memoCosts(w, cfg.Workload.g, cfg.Machine, actualTab, costCfg)
+			actual, err := memoCosts(w, cfg.Workload.g, cfg.Machine, actualTab, costCfg, opts.Lanes)
 			if err != nil {
 				return sim.BatchRun{}, nil, err
 			}
@@ -219,7 +222,7 @@ func prepareRun(cfg RunConfig, w *sim.Worker) (sim.BatchRun, sim.Policy, error) 
 		}
 	}
 
-	costs, err := memoCosts(w, cfg.Workload.g, cfg.Machine, estTab, costCfg)
+	costs, err := memoCosts(w, cfg.Workload.g, cfg.Machine, estTab, costCfg, opts.Lanes)
 	if err != nil {
 		return sim.BatchRun{}, nil, err
 	}
@@ -268,7 +271,10 @@ func memoPolicy(w *sim.Worker, p Policy) (sim.Policy, error) {
 }
 
 // assemble converts an engine result into the public Result, mirroring Run.
-func assemble(res *sim.Result, w *Workload, m *Machine, pol sim.Policy) *Result {
+// The per-kernel rows are filled into an exact-size preallocation, sharded
+// across the run's lanes (disjoint index ranges, so the output is
+// byte-identical for every lane count — see sim.ParallelOver).
+func assemble(res *sim.Result, w *Workload, m *Machine, pol sim.Policy, lanes int) *Result {
 	out := &Result{
 		Policy:        res.Policy,
 		MakespanMs:    res.MakespanMs,
@@ -281,26 +287,30 @@ func assemble(res *sim.Result, w *Workload, m *Machine, pol sim.Policy) *Result 
 		sys:           m.sys,
 		wl:            w,
 	}
-	for i := range res.Placements {
-		pl := res.Placements[i]
-		out.Kernels = append(out.Kernels, KernelRun{
-			Kernel:      int(pl.Kernel),
-			Name:        w.g.Kernel(pl.Kernel).Name,
-			Proc:        int(pl.Proc),
-			ProcName:    m.sys.Proc(pl.Proc).Name,
-			ArrivalMs:   pl.Arrival,
-			ReadyMs:     pl.Ready,
-			ExecStartMs: pl.ExecStart,
-			FinishMs:    pl.Finish,
-			LambdaMs:    pl.Lambda(),
-			TransferMs:  pl.ExecStart - pl.TransferStart,
-			SojournMs:   pl.Sojourn(),
-			QueueWaitMs: pl.QueueWait(),
-		})
-	}
+	out.Kernels = make([]KernelRun, len(res.Placements))
+	sim.ParallelOver(len(res.Placements), lanes, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pl := res.Placements[i]
+			out.Kernels[i] = KernelRun{
+				Kernel:      int32(pl.Kernel),
+				Name:        w.g.Kernel(pl.Kernel).Name,
+				Proc:        int32(pl.Proc),
+				ProcName:    m.sys.Proc(pl.Proc).Name,
+				ArrivalMs:   pl.Arrival,
+				ReadyMs:     pl.Ready,
+				ExecStartMs: pl.ExecStart,
+				FinishMs:    pl.Finish,
+				LambdaMs:    pl.Lambda(),
+				TransferMs:  pl.ExecStart - pl.TransferStart,
+				SojournMs:   pl.Sojourn(),
+				QueueWaitMs: pl.QueueWait(),
+			}
+		}
+	})
+	out.Procs = make([]ProcUse, 0, len(res.ProcStats))
 	for _, st := range res.ProcStats {
 		out.Procs = append(out.Procs, ProcUse{
-			Proc:    int(st.Proc),
+			Proc:    int32(st.Proc),
 			Name:    m.sys.Proc(st.Proc).Name,
 			Kernels: st.Kernels,
 			ExecMs:  st.ExecMs,

@@ -1,0 +1,8 @@
+//go:build !race
+
+package apt
+
+// raceEnabled reports whether the race detector is compiled in; the
+// million-kernel test skips under -race, where its two full runs would
+// dominate the whole suite's wall time.
+const raceEnabled = false

@@ -43,6 +43,20 @@ type Options struct {
 	// steady platform — the thesis's model. See Perturbation and
 	// RunRobustness.
 	Perturb *Perturbation
+	// Lanes fans the trajectory-independent phases of a run — cost-table
+	// preparation, schedule validation, latency sorting and result
+	// assembly — across parallel lanes. The event trajectory itself stays
+	// sequential (policies observe global state at every decision), so
+	// results are byte-identical for every lane count: 0 or 1 serial, > 1
+	// that many lanes, < 0 one per CPU. Worth it from ~10k kernels up.
+	Lanes int
+	// Float32Costs stores the execution-time matrix in float32, halving
+	// the cost table's per-kernel footprint. Lookups widen the same stored
+	// value everywhere so runs stay fully deterministic, but low-order
+	// result bits differ from the default float64 table — leave this off
+	// where byte-compatibility with existing outputs matters. See
+	// ARCHITECTURE.md "Memory layout & partitioned execution".
+	Float32Costs bool
 }
 
 // PoissonArrivals returns a streaming-arrival schedule for the workload:
@@ -152,11 +166,13 @@ func validateArrivals(kernels int, arrivals []float64) error {
 }
 
 // KernelRun describes one kernel's lifecycle in a finished run. Times are
-// milliseconds since the run started.
+// milliseconds since the run started. Kernel and processor indices are
+// int32, matching the engine's 32-bit ID space — at a million kernels per
+// run the record layout is what bounds resident memory.
 type KernelRun struct {
-	Kernel      int
+	Kernel      int32
 	Name        string
-	Proc        int
+	Proc        int32
 	ProcName    string
 	ArrivalMs   float64
 	ReadyMs     float64
@@ -172,7 +188,7 @@ type KernelRun struct {
 
 // ProcUse is one processor's time accounting.
 type ProcUse struct {
-	Proc    int
+	Proc    int32
 	Name    string
 	Kernels int
 	ExecMs  float64
@@ -223,10 +239,10 @@ func Run(w *Workload, m *Machine, p Policy, opts *Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := res.Validate(w.g, m.sys); err != nil {
+	if err := res.ValidateLanes(w.g, m.sys, run.Opt.Lanes); err != nil {
 		return nil, fmt.Errorf("apt: internal error, invalid schedule: %w", err)
 	}
-	return assemble(res, w, m, pol), nil
+	return assemble(res, w, m, pol, run.Opt.Lanes), nil
 }
 
 // Gantt renders the schedule as a time-ordered event log.

@@ -1,27 +1,48 @@
-// Command benchgate compares two `go test -bench -benchmem` outputs (the
-// merge-base's and the PR head's) and fails when the head regresses:
+// Command benchgate compares a baseline against the PR head's
+// `go test -bench -benchmem` output and fails when the head regresses.
+// The baseline is either another bench-output text file (the merge-base,
+// run on the same machine) or a committed BENCH_PR<N>.json record written
+// by ci/benchrecord (recognised by its .json extension).
+//
+// Against a same-machine text baseline it gates on:
 //
 //   - mean ns/op worse than the threshold (default +15%) on any benchmark
-//     present in both files, or
+//     present in both files,
 //   - any increase in mean allocs/op (allocation counts are deterministic,
-//     so any growth is a real regression, not noise).
+//     so any growth is a real regression, not noise), and
+//   - mean B/op worse than the bytes threshold (default +20%).
+//
+// Against a committed JSON record the ns/op gate is skipped — wall time
+// does not transfer across machines — while the allocs/op and B/op gates
+// stay on: both are machine-independent, so a recorded baseline pins the
+// memory trajectory across PRs even when every CI runner differs.
+//
+// Independently of the baseline, -max-bpk caps bytes-per-kernel on the
+// Scale benches: a benchmark named …Scale…<N>k or …<N>M simulates N
+// thousand/million kernels, and its head B/op divided by that count must
+// stay under the cap. This is the absolute memory-diet gate (the design
+// point: a million-kernel run in well under a gigabyte).
 //
 // Usage:
 //
-//	benchgate [-ns-threshold 1.15] base.txt head.txt
+//	benchgate [-ns-threshold 1.15] [-bytes-threshold 1.20] [-max-bpk 0] base.{txt,json} head.txt
 //
 // It prints a per-benchmark comparison table (markdown-friendly, suitable
 // for $GITHUB_STEP_SUMMARY) and exits non-zero listing every regression.
 // Benchmarks present in only one file are reported but never fail the
 // gate: new benchmarks have no baseline and deleted ones no head.
+// GOMAXPROCS name suffixes ("-8") are stripped on both sides, so records
+// written on one machine shape compare against any other.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -31,6 +52,8 @@ import (
 type metrics struct {
 	nsSum    float64
 	nsCount  int
+	byteSum  float64
+	byteCnt  int
 	allocSum float64
 	allocCnt int
 }
@@ -42,12 +65,27 @@ func (m metrics) nsMean() float64 {
 	return m.nsSum / float64(m.nsCount)
 }
 
+func (m metrics) byteMean() float64 {
+	if m.byteCnt == 0 {
+		return 0
+	}
+	return m.byteSum / float64(m.byteCnt)
+}
+
 func (m metrics) allocMean() float64 {
 	if m.allocCnt == 0 {
 		return 0
 	}
 	return m.allocSum / float64(m.allocCnt)
 }
+
+// procSuffix is the "-8" GOMAXPROCS tail go test appends to benchmark
+// names on multi-proc machines (and omits at GOMAXPROCS=1).
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// normName strips the GOMAXPROCS suffix so outputs from differently-shaped
+// machines (and suffix-free JSON records) land on the same key.
+func normName(name string) string { return procSuffix.ReplaceAllString(name, "") }
 
 // parseBench reads `go test -bench` output: lines of the form
 //
@@ -63,7 +101,7 @@ func parseBench(r io.Reader) (map[string]*metrics, error) {
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		name := fields[0]
+		name := normName(fields[0])
 		m := out[name]
 		if m == nil {
 			m = &metrics{}
@@ -79,6 +117,9 @@ func parseBench(r io.Reader) (map[string]*metrics, error) {
 			case "ns/op":
 				m.nsSum += v
 				m.nsCount++
+			case "B/op":
+				m.byteSum += v
+				m.byteCnt++
 			case "allocs/op":
 				m.allocSum += v
 				m.allocCnt++
@@ -88,17 +129,77 @@ func parseBench(r io.Reader) (map[string]*metrics, error) {
 	return out, sc.Err()
 }
 
+// record mirrors ci/benchrecord's per-benchmark JSON object.
+type record struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Count       int     `json:"count"`
+}
+
+// parseRecord reads a BENCH_PR<N>.json committed baseline into the same
+// shape as parsed bench output.
+func parseRecord(r io.Reader) (map[string]*metrics, error) {
+	var recs map[string]record
+	if err := json.NewDecoder(r).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("benchgate: baseline record: %v", err)
+	}
+	out := make(map[string]*metrics, len(recs))
+	for name, rec := range recs { //lint:ordered — map rebuild; consumers sort by name
+		out[normName(name)] = &metrics{
+			nsSum: rec.NsPerOp, nsCount: 1,
+			byteSum: rec.BytesPerOp, byteCnt: 1,
+			allocSum: rec.AllocsPerOp, allocCnt: 1,
+		}
+	}
+	return out, nil
+}
+
 func parseFile(path string) (map[string]*metrics, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return parseRecord(f)
+	}
 	return parseBench(f)
 }
 
+// gateOpts configures which regressions fail the gate.
+type gateOpts struct {
+	nsThreshold    float64 // head ns/op may reach base × this
+	bytesThreshold float64 // head B/op may reach base × this
+	maxBPK         float64 // absolute bytes-per-kernel cap on Scale benches; 0 disables
+	gateNs         bool    // off for cross-machine (JSON record) baselines
+}
+
+// scaleKernels extracts the kernel count a Scale benchmark simulates from
+// its name tail: …Scale…10k → 10 000, …Scale…1M → 1 000 000. Returns 0 for
+// non-Scale benchmarks.
+var scaleTail = regexp.MustCompile(`(\d+)([kM])$`)
+
+func scaleKernels(name string) int {
+	if !strings.Contains(name, "Scale") {
+		return 0
+	}
+	m := scaleTail.FindStringSubmatch(name)
+	if m == nil {
+		return 0
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		return 0
+	}
+	if m[2] == "M" {
+		return n * 1_000_000
+	}
+	return n * 1_000
+}
+
 // compare returns the human-readable table and the list of regressions.
-func compare(base, head map[string]*metrics, nsThreshold float64) (string, []string) {
+func compare(base, head map[string]*metrics, opts gateOpts) (string, []string) {
 	var names []string
 	for name := range head {
 		names = append(names, name)
@@ -106,32 +207,51 @@ func compare(base, head map[string]*metrics, nsThreshold float64) (string, []str
 	sort.Strings(names)
 
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-50s %14s %14s %8s %10s %10s\n",
-		"benchmark", "base ns/op", "head ns/op", "Δns", "base allocs", "head allocs")
+	fmt.Fprintf(&sb, "%-50s %14s %14s %8s %12s %12s %10s %10s\n",
+		"benchmark", "base ns/op", "head ns/op", "Δns", "base B/op", "head B/op", "base allocs", "head allocs")
 	var regressions []string
 	for _, name := range names {
 		h := head[name]
 		b, ok := base[name]
 		if !ok {
-			fmt.Fprintf(&sb, "%-50s %14s %14.1f %8s %10s %10.1f   (new, not gated)\n",
-				name, "-", h.nsMean(), "-", "-", h.allocMean())
+			fmt.Fprintf(&sb, "%-50s %14s %14.1f %8s %12s %12.1f %10s %10.1f   (new, not gated)\n",
+				name, "-", h.nsMean(), "-", "-", h.byteMean(), "-", h.allocMean())
 			continue
 		}
 		delta := 0.0
 		if b.nsMean() > 0 {
 			delta = (h.nsMean() - b.nsMean()) / b.nsMean() * 100
 		}
-		fmt.Fprintf(&sb, "%-50s %14.1f %14.1f %+7.1f%% %10.1f %10.1f\n",
-			name, b.nsMean(), h.nsMean(), delta, b.allocMean(), h.allocMean())
-		if b.nsMean() > 0 && h.nsMean() > b.nsMean()*nsThreshold {
+		fmt.Fprintf(&sb, "%-50s %14.1f %14.1f %+7.1f%% %12.1f %12.1f %10.1f %10.1f\n",
+			name, b.nsMean(), h.nsMean(), delta, b.byteMean(), h.byteMean(), b.allocMean(), h.allocMean())
+		if opts.gateNs && b.nsMean() > 0 && h.nsMean() > b.nsMean()*opts.nsThreshold {
 			regressions = append(regressions, fmt.Sprintf(
 				"%s: ns/op %+.1f%% (%.1f -> %.1f, threshold %+.0f%%)",
-				name, delta, b.nsMean(), h.nsMean(), (nsThreshold-1)*100))
+				name, delta, b.nsMean(), h.nsMean(), (opts.nsThreshold-1)*100))
+		}
+		if b.byteMean() > 0 && h.byteMean() > b.byteMean()*opts.bytesThreshold {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: B/op %.0f -> %.0f (threshold %+.0f%%)",
+				name, b.byteMean(), h.byteMean(), (opts.bytesThreshold-1)*100))
 		}
 		if h.allocMean() > b.allocMean() {
 			regressions = append(regressions, fmt.Sprintf(
 				"%s: allocs/op %.1f -> %.1f (any increase fails)",
 				name, b.allocMean(), h.allocMean()))
+		}
+	}
+	// The absolute memory-diet cap applies to every head Scale bench,
+	// baseline or not: a brand-new Scale size must arrive under the cap.
+	for _, name := range names {
+		kernels := scaleKernels(name)
+		if kernels == 0 || head[name].byteCnt == 0 {
+			continue
+		}
+		bpk := head[name].byteMean() / float64(kernels)
+		fmt.Fprintf(&sb, "%-50s %38.1f bytes/kernel (%d kernels)\n", name, bpk, kernels)
+		if opts.maxBPK > 0 && bpk > opts.maxBPK {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.1f bytes/kernel exceeds the %.0f cap", name, bpk, opts.maxBPK))
 		}
 	}
 	for name := range base {
@@ -143,10 +263,12 @@ func compare(base, head map[string]*metrics, nsThreshold float64) (string, []str
 }
 
 func main() {
-	nsThreshold := flag.Float64("ns-threshold", 1.15, "fail when head mean ns/op exceeds base × this")
+	nsThreshold := flag.Float64("ns-threshold", 1.15, "fail when head mean ns/op exceeds base × this (same-machine text baselines only)")
+	bytesThreshold := flag.Float64("bytes-threshold", 1.20, "fail when head mean B/op exceeds base × this")
+	maxBPK := flag.Float64("max-bpk", 0, "fail when a Scale bench's head B/op per simulated kernel exceeds this (0 = off)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchgate [-ns-threshold 1.15] base.txt head.txt")
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-ns-threshold 1.15] [-bytes-threshold 1.20] [-max-bpk 0] base.{txt,json} head.txt")
 		os.Exit(2)
 	}
 	base, err := parseFile(flag.Arg(0))
@@ -163,7 +285,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate: no benchmarks found in head file")
 		os.Exit(2)
 	}
-	table, regressions := compare(base, head, *nsThreshold)
+	opts := gateOpts{
+		nsThreshold:    *nsThreshold,
+		bytesThreshold: *bytesThreshold,
+		maxBPK:         *maxBPK,
+		gateNs:         !strings.HasSuffix(flag.Arg(0), ".json"),
+	}
+	table, regressions := compare(base, head, opts)
 	fmt.Print(table)
 	if len(regressions) > 0 {
 		fmt.Printf("\nFAIL: %d benchmark regression(s):\n", len(regressions))

@@ -14,6 +14,10 @@ BenchmarkGone-8      	    1000	      1000 ns/op	       0 B/op	       0 allocs/op
 PASS
 `
 
+// textGate is the default same-machine configuration the pre-record gate
+// ran with: ns gated at +15%, bytes at +20%.
+var textGate = gateOpts{nsThreshold: 1.15, bytesThreshold: 1.20, gateNs: true}
+
 func parsed(t *testing.T, s string) map[string]*metrics {
 	t.Helper()
 	m, err := parseBench(strings.NewReader(s))
@@ -25,12 +29,15 @@ func parsed(t *testing.T, s string) map[string]*metrics {
 
 func TestParseBenchAveragesCounts(t *testing.T) {
 	m := parsed(t, baseOut)
-	apt := m["BenchmarkRunAPT-8"]
+	apt := m["BenchmarkRunAPT"] // GOMAXPROCS suffix is normalised away
 	if apt == nil {
-		t.Fatal("BenchmarkRunAPT-8 not parsed")
+		t.Fatal("BenchmarkRunAPT not parsed")
 	}
 	if got := apt.nsMean(); got != 52500 {
 		t.Errorf("ns mean = %v, want 52500", got)
+	}
+	if got := apt.byteMean(); got != 48000 {
+		t.Errorf("byte mean = %v, want 48000", got)
 	}
 	if got := apt.allocMean(); got != 1000 {
 		t.Errorf("alloc mean = %v, want 1000", got)
@@ -40,17 +47,30 @@ func TestParseBenchAveragesCounts(t *testing.T) {
 	}
 }
 
+func TestNormName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkRunAPT-8":             "BenchmarkRunAPT",
+		"BenchmarkRunAPT":               "BenchmarkRunAPT",
+		"BenchmarkOnlineSubmit/procs=4": "BenchmarkOnlineSubmit/procs=4",
+		"BenchmarkScale100k-16":         "BenchmarkScale100k",
+	} {
+		if got := normName(in); got != want {
+			t.Errorf("normName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
 func TestCompareWithinThresholdPasses(t *testing.T) {
 	head := `
 BenchmarkRunAPT-8    	    1000	     57000 ns/op	   48000 B/op	    1000 allocs/op
 BenchmarkStreamRunner-8  	      10	   850000 ns/op	   12000 B/op	      40 allocs/op
 BenchmarkNew-8       	    1000	      2000 ns/op	     100 B/op	       5 allocs/op
 `
-	table, regs := compare(parsed(t, baseOut), parsed(t, head), 1.15)
+	table, regs := compare(parsed(t, baseOut), parsed(t, head), textGate)
 	if len(regs) != 0 {
 		t.Errorf("unexpected regressions: %v", regs)
 	}
-	for _, want := range []string{"BenchmarkNew-8", "not gated", "BenchmarkGone-8", "missing from head"} {
+	for _, want := range []string{"BenchmarkNew", "not gated", "BenchmarkGone", "missing from head"} {
 		if !strings.Contains(table, want) {
 			t.Errorf("table missing %q:\n%s", want, table)
 		}
@@ -62,9 +82,9 @@ func TestCompareNsRegressionFails(t *testing.T) {
 BenchmarkRunAPT-8    	    1000	     65000 ns/op	   48000 B/op	    1000 allocs/op
 BenchmarkStreamRunner-8  	      10	   900000 ns/op	   12000 B/op	      40 allocs/op
 `
-	_, regs := compare(parsed(t, baseOut), parsed(t, head), 1.15)
-	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkRunAPT-8") || !strings.Contains(regs[0], "ns/op") {
-		t.Errorf("regressions = %v, want one ns/op regression on BenchmarkRunAPT-8", regs)
+	_, regs := compare(parsed(t, baseOut), parsed(t, head), textGate)
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkRunAPT") || !strings.Contains(regs[0], "ns/op") {
+		t.Errorf("regressions = %v, want one ns/op regression on BenchmarkRunAPT", regs)
 	}
 }
 
@@ -73,8 +93,88 @@ func TestCompareAllocRegressionFails(t *testing.T) {
 BenchmarkRunAPT-8    	    1000	     52000 ns/op	   48000 B/op	    1001 allocs/op
 BenchmarkStreamRunner-8  	      10	   900000 ns/op	   12000 B/op	      40 allocs/op
 `
-	_, regs := compare(parsed(t, baseOut), parsed(t, head), 1.15)
+	_, regs := compare(parsed(t, baseOut), parsed(t, head), textGate)
 	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
 		t.Errorf("regressions = %v, want one allocs/op regression", regs)
+	}
+}
+
+func TestCompareBytesRegressionFails(t *testing.T) {
+	head := `
+BenchmarkRunAPT-8    	    1000	     52000 ns/op	   60000 B/op	    1000 allocs/op
+BenchmarkStreamRunner-8  	      10	   900000 ns/op	   12000 B/op	      40 allocs/op
+`
+	_, regs := compare(parsed(t, baseOut), parsed(t, head), textGate)
+	if len(regs) != 1 || !strings.Contains(regs[0], "B/op") {
+		t.Errorf("regressions = %v, want one B/op regression", regs)
+	}
+}
+
+// TestRecordBaselineSkipsNs pins the cross-machine contract: against a
+// committed JSON record the ns/op gate is off (wall time does not travel),
+// while allocs/op and B/op still gate.
+func TestRecordBaselineSkipsNs(t *testing.T) {
+	rec := `{
+  "BenchmarkRunAPT": {"ns_per_op":52500,"b_per_op":48000,"allocs_per_op":1000,"count":3},
+  "BenchmarkStreamRunner": {"ns_per_op":900000,"b_per_op":12000,"allocs_per_op":40,"count":3}
+}`
+	base, err := parseRecord(strings.NewReader(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := `
+BenchmarkRunAPT-8    	    1000	    520000 ns/op	   48000 B/op	    1000 allocs/op
+BenchmarkStreamRunner-8  	      10	   900000 ns/op	   12000 B/op	      40 allocs/op
+`
+	recordGate := gateOpts{nsThreshold: 1.15, bytesThreshold: 1.20, gateNs: false}
+	if _, regs := compare(base, parsed(t, head), recordGate); len(regs) != 0 {
+		t.Errorf("10x slower head failed a cross-machine gate: %v", regs)
+	}
+	headWorse := `
+BenchmarkRunAPT-8    	    1000	     52000 ns/op	   99000 B/op	    1002 allocs/op
+BenchmarkStreamRunner-8  	      10	   900000 ns/op	   12000 B/op	      40 allocs/op
+`
+	_, regs := compare(base, parsed(t, headWorse), recordGate)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want B/op and allocs/op", regs)
+	}
+}
+
+func TestScaleKernels(t *testing.T) {
+	for name, want := range map[string]int{
+		"BenchmarkScale1k":             1_000,
+		"BenchmarkScale10k":            10_000,
+		"BenchmarkScale100k":           100_000,
+		"BenchmarkScale1M":             1_000_000,
+		"BenchmarkScalePartitioned10k": 10_000,
+		"BenchmarkRunAPT":              0,
+		"BenchmarkSweepPrepared10k":    0, // not a Scale bench
+		"BenchmarkScaleMachine":        0, // no size tail
+	} {
+		if got := scaleKernels(name); got != want {
+			t.Errorf("scaleKernels(%q) = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestMaxBytesPerKernelGate pins the absolute memory-diet cap: a Scale
+// bench over the per-kernel byte budget fails even with no baseline entry.
+func TestMaxBytesPerKernelGate(t *testing.T) {
+	head := `
+BenchmarkScale1M-8   	       1	4000000000 ns/op	600000000 B/op	     500 allocs/op
+`
+	opts := gateOpts{nsThreshold: 1.15, bytesThreshold: 1.20, maxBPK: 500}
+	table, regs := compare(map[string]*metrics{}, parsed(t, head), opts)
+	if len(regs) != 1 || !strings.Contains(regs[0], "bytes/kernel") {
+		t.Fatalf("regressions = %v, want one bytes/kernel cap failure", regs)
+	}
+	if !strings.Contains(table, "bytes/kernel") {
+		t.Errorf("table missing bytes/kernel line:\n%s", table)
+	}
+	okHead := `
+BenchmarkScale1M-8   	       1	4000000000 ns/op	470000000 B/op	     500 allocs/op
+`
+	if _, regs := compare(map[string]*metrics{}, parsed(t, okHead), opts); len(regs) != 0 {
+		t.Errorf("470 B/kernel failed a 500 cap: %v", regs)
 	}
 }

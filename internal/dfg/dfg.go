@@ -13,15 +13,46 @@ package dfg
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/heaps"
 )
 
+// SizeError reports a graph too large for the 32-bit kernel-ID space. The
+// CSR offsets and every per-kernel record in the simulator are int32-indexed,
+// so builders reject anything beyond math.MaxInt32 kernels or edges instead
+// of silently wrapping.
+type SizeError struct {
+	Kernels int
+	Edges   int
+}
+
+func (e *SizeError) Error() string {
+	return fmt.Sprintf("dfg: graph with %d kernels / %d edges exceeds the int32 ID space (max %d)",
+		e.Kernels, e.Edges, math.MaxInt32)
+}
+
+// checkSize returns a *SizeError iff a graph with the given kernel and edge
+// counts would overflow int32 IDs or CSR offsets. Split out so the overflow
+// guard is testable without materialising a 2^31-kernel graph.
+func checkSize(kernels, edges int) error {
+	if kernels > math.MaxInt32 || edges > math.MaxInt32 {
+		return &SizeError{Kernels: kernels, Edges: edges}
+	}
+	return nil
+}
+
 // KernelID identifies a kernel within one Graph. IDs are dense from 0 in
 // insertion order, which for the paper's workloads is also the stream
 // ("first-come, first-serve") arrival order that dynamic policies see.
-type KernelID int
+//
+// The ID is 32 bits wide on purpose: per-kernel bookkeeping in the
+// simulator (event records, ready queues, placement rows) stores KernelIDs
+// by value, and halving the ID width is what keeps million-kernel runs
+// inside a few hundred bytes per kernel. Builder.Build rejects graphs that
+// would overflow the ID space with a *SizeError.
+type KernelID int32
 
 // Kernel is one schedulable unit of computation (paper Figure 2: an
 // application decomposes into kernels; each kernel follows a dwarf's
@@ -65,6 +96,80 @@ type Graph struct {
 	// shared read-only by TopoOrder, Levels and CriticalPath.
 	topo  []KernelID
 	edges int
+	// comp[id] is the weakly-connected component of kernel id. Components
+	// are numbered 0..ncomp-1 in order of their smallest kernel ID, so the
+	// numbering is deterministic and component 0 always contains kernel 0.
+	// Computed once at Build (union-find over the deduplicated edge list);
+	// the partitioned engine shards independent work along these boundaries.
+	comp  []int32
+	ncomp int
+}
+
+// NumComponents returns the number of weakly-connected components. An empty
+// graph has zero; every kernel belongs to exactly one component.
+func (g *Graph) NumComponents() int { return g.ncomp }
+
+// ComponentOf returns the weakly-connected component index of id.
+// Components are numbered by smallest member ID, ascending.
+func (g *Graph) ComponentOf(id KernelID) int32 {
+	if id < 0 || int(id) >= len(g.kernels) {
+		badKernelID(id, len(g.kernels))
+	}
+	return g.comp[id]
+}
+
+// AppendComponent appends the kernels of component c to buf in ascending ID
+// order and returns the extended slice. Out-of-range components append
+// nothing.
+func (g *Graph) AppendComponent(c int32, buf []KernelID) []KernelID {
+	if c < 0 || int(c) >= g.ncomp {
+		return buf
+	}
+	for id := range g.kernels {
+		if g.comp[id] == c {
+			buf = append(buf, KernelID(id))
+		}
+	}
+	return buf
+}
+
+// components labels every vertex with its weakly-connected component using
+// union-find (path halving + union by smaller root ID, so the final root of
+// each set is its smallest member and the renumbering pass is a formality).
+func components(n int, edges []edgePair) ([]int32, int) {
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		a, b := find(int32(e.from)), find(int32(e.to))
+		if a == b {
+			continue
+		}
+		if a < b {
+			parent[b] = a
+		} else {
+			parent[a] = b
+		}
+	}
+	comp := make([]int32, n)
+	ncomp := int32(0)
+	for id := 0; id < n; id++ {
+		if r := find(int32(id)); r == int32(id) {
+			comp[id] = ncomp
+			ncomp++
+		} else {
+			comp[id] = comp[r] // r < id, already numbered
+		}
+	}
+	return comp, int(ncomp)
 }
 
 // NumKernels returns the number of vertices.
@@ -385,6 +490,10 @@ func NewBuilder() *Builder { return &Builder{} }
 // overwritten (Dwarf only if empty, from the name via lut-style mapping is
 // the caller's job; the builder leaves it as provided).
 func (b *Builder) AddKernel(k Kernel) KernelID {
+	if err := checkSize(len(b.kernels)+1, len(b.edges)); err != nil {
+		b.fail(err)
+		return KernelID(math.MaxInt32)
+	}
 	id := KernelID(len(b.kernels))
 	k.ID = id
 	if k.OutElems == 0 {
@@ -447,6 +556,9 @@ func (b *Builder) Build() (*Graph, error) {
 		return nil, b.err
 	}
 	n := len(b.kernels)
+	if err := checkSize(n, len(b.edges)); err != nil {
+		return nil, err
+	}
 
 	// Sort the edge buffer by (from, to) and squeeze out duplicates in
 	// place. Sorting up front means both CSR halves come out with sorted
@@ -504,6 +616,7 @@ func (b *Builder) Build() (*Graph, error) {
 	if len(g.topo) != n {
 		return nil, fmt.Errorf("dfg: graph contains a cycle")
 	}
+	g.comp, g.ncomp = components(n, dedup)
 	return g, nil
 }
 

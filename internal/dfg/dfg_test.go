@@ -2,6 +2,8 @@ package dfg
 
 import (
 	"bytes"
+	"errors"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -344,5 +346,37 @@ func TestJSONRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestSizeGuard pins the int32 overflow guard: counts beyond the ID space
+// are rejected with a typed *SizeError (white-box through checkSize, so the
+// guard is provable without materialising a 2^31-kernel graph).
+func TestSizeGuard(t *testing.T) {
+	if err := checkSize(10, 20); err != nil {
+		t.Fatalf("small graph rejected: %v", err)
+	}
+	if err := checkSize(math.MaxInt32, math.MaxInt32); err != nil {
+		t.Fatalf("exactly-max graph rejected: %v", err)
+	}
+	for _, tc := range []struct{ kernels, edges int }{
+		{math.MaxInt32 + 1, 0},
+		{0, math.MaxInt32 + 1},
+		{math.MaxInt32 + 1, math.MaxInt32 + 1},
+	} {
+		err := checkSize(tc.kernels, tc.edges)
+		if err == nil {
+			t.Fatalf("checkSize(%d, %d) accepted", tc.kernels, tc.edges)
+		}
+		var se *SizeError
+		if !errors.As(err, &se) {
+			t.Fatalf("checkSize(%d, %d) returned %T, want *SizeError", tc.kernels, tc.edges, err)
+		}
+		if se.Kernels != tc.kernels || se.Edges != tc.edges {
+			t.Fatalf("SizeError carries %d/%d, want %d/%d", se.Kernels, se.Edges, tc.kernels, tc.edges)
+		}
+		if !strings.Contains(err.Error(), "int32") {
+			t.Fatalf("error %q does not name the int32 ID space", err)
+		}
 	}
 }

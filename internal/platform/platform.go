@@ -33,8 +33,9 @@ const (
 func StandardKinds() []Kind { return []Kind{CPU, GPU, FPGA} }
 
 // ProcID indexes a processor inside a System. IDs are dense, starting at 0,
-// in the order processors were added.
-type ProcID int
+// in the order processors were added. Like dfg.KernelID it is 32 bits wide
+// so per-kernel records that carry a processor stay compact.
+type ProcID int32
 
 // Invalid is returned by lookups that found no processor.
 const Invalid ProcID = -1

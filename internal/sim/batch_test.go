@@ -222,7 +222,7 @@ func TestCommitOutOfReadyOrder(t *testing.T) {
 // index map consistent, and re-pushing works after compaction.
 func TestReadyListRemoval(t *testing.T) {
 	const n = 8
-	e := &engine{readyIdx: make([]int, n)}
+	e := &engine{readyIdx: make([]int32, n)}
 	for i := range e.readyIdx {
 		e.readyIdx[i] = -1
 	}

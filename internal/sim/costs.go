@@ -18,6 +18,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/dfg"
@@ -56,6 +57,16 @@ type CostConfig struct {
 	ElemBytes float64
 	// Mode selects multi-predecessor transfer combination; default TransferMax.
 	Mode TransferMode
+	// Float32Exec stores the execution-time matrix as float32 instead of
+	// float64, halving the dominant per-kernel table cost (np×4 instead of
+	// np×8 bytes per kernel). Every lookup still returns float64 — the
+	// quantisation happens exactly once, at table build — so a run is fully
+	// deterministic, but its low-order bits differ from the float64 table's:
+	// results are NOT byte-identical between the two storages. Opt in only
+	// where that is acceptable (relative quantisation error ≤ 2⁻²⁴ ≈ 6e-8,
+	// far below measurement noise in any measured lookup table; see
+	// ARCHITECTURE.md "Memory layout & partitioned execution").
+	Float32Exec bool
 }
 
 // DefaultCostConfig returns the documented defaults (4 bytes/element,
@@ -88,24 +99,38 @@ type Costs struct {
 	np  int
 	// exec is the kernel×processor execution-time matrix flattened row-major
 	// with stride np (exec[k*np+p]), one contiguous allocation regardless of
-	// graph size.
-	exec []float64
-	best []platform.ProcID
-	mean []float64 // mean exec across procs, for HEFT ranks
+	// graph size. Exactly one of exec/exec32 is populated: with
+	// CostConfig.Float32Exec the matrix lives in exec32 at half the bytes,
+	// quantised once at build time, and every accessor widens on read.
+	exec   []float64
+	exec32 []float32
+	best   []platform.ProcID
+	mean   []float64 // mean exec across procs, for HEFT ranks
 
 	// ranked is the per-kernel ascending-execution-time processor order,
 	// flattened with stride np and built lazily on the first RankedProcs
 	// call (many runs never need it; 100k-kernel graphs should not pay an
-	// O(n·P log P) sort up front). sync.Once keeps the build race-free —
-	// one Costs is shared across worker goroutines.
+	// O(n·P log P) sort up front). Rows are quantised to uint16 processor
+	// indices — 2 bytes per entry instead of a 4-byte ProcID — which is why
+	// PrepareCosts caps systems at 65535 processors. sync.Once keeps the
+	// build race-free — one Costs is shared across worker goroutines.
 	rankOnce sync.Once
-	ranked   []platform.ProcID
+	ranked   []uint16
 }
 
 // PrepareCosts precomputes the kernel×processor execution-time matrix and
 // validates that the table covers every kernel in the graph on every
 // processor kind in the system.
 func PrepareCosts(g *dfg.Graph, sys *platform.System, tab *lut.Table, cfg CostConfig) (*Costs, error) {
+	return PrepareCostsLanes(g, sys, tab, cfg, 1)
+}
+
+// PrepareCostsLanes is PrepareCosts with the per-kernel row fills sharded
+// across parallel lanes (0 or 1 serial, < 0 one per CPU). Rows are independent
+// — each lane writes a disjoint slice of the matrix and derives best/mean
+// per row — and the lookup table is immutable, so the resulting oracle is
+// byte-identical for every lane count.
+func PrepareCostsLanes(g *dfg.Graph, sys *platform.System, tab *lut.Table, cfg CostConfig, lanes int) (*Costs, error) {
 	if g == nil || sys == nil || tab == nil {
 		return nil, fmt.Errorf("sim: PrepareCosts requires graph, system and table")
 	}
@@ -117,34 +142,57 @@ func PrepareCosts(g *dfg.Graph, sys *platform.System, tab *lut.Table, cfg CostCo
 	}
 	n := g.NumKernels()
 	np := sys.NumProcs()
+	if np > math.MaxUint16 {
+		return nil, fmt.Errorf("sim: %d processors exceed the ranked-order table's uint16 index space (max %d)", np, math.MaxUint16)
+	}
 	c := &Costs{
 		g:    g,
 		sys:  sys,
 		cfg:  cfg,
 		np:   np,
-		exec: make([]float64, n*np),
 		best: make([]platform.ProcID, n),
 		mean: make([]float64, n),
 	}
-	for id := 0; id < n; id++ {
-		k := g.Kernel(dfg.KernelID(id))
-		row := c.exec[id*np : (id+1)*np]
-		sum := 0.0
-		best := platform.ProcID(0)
-		for p := 0; p < np; p++ {
-			ms, err := tab.Exec(k.Name, k.DataElems, sys.KindOf(platform.ProcID(p)))
-			if err != nil {
-				return nil, fmt.Errorf("sim: kernel %d (%s, %d elems) on proc %d: %w",
-					id, k.Name, k.DataElems, p, err)
+	if cfg.Float32Exec {
+		c.exec32 = make([]float32, n*np)
+	} else {
+		c.exec = make([]float64, n*np)
+	}
+	errs := make([]laneError, normLanes(lanes, n))
+	parallelChunks(n, lanes, func(ch laneChunk) {
+		for id := ch.lo; id < ch.hi; id++ {
+			k := g.Kernel(dfg.KernelID(id))
+			sum := 0.0
+			best := platform.ProcID(0)
+			bestMs := math.Inf(1)
+			for p := 0; p < np; p++ {
+				ms, err := tab.Exec(k.Name, k.DataElems, sys.KindOf(platform.ProcID(p)))
+				if err != nil {
+					errs[ch.lane] = laneError{at: id, err: fmt.Errorf("sim: kernel %d (%s, %d elems) on proc %d: %w",
+						id, k.Name, k.DataElems, p, err)}
+					return
+				}
+				if c.exec32 != nil {
+					// Quantise exactly once at build: every later read
+					// widens the same stored value, so estimates stay
+					// self-consistent across policies and the engine.
+					c.exec32[id*np+p] = float32(ms)
+					ms = float64(c.exec32[id*np+p])
+				} else {
+					c.exec[id*np+p] = ms
+				}
+				sum += ms
+				if ms < bestMs {
+					bestMs = ms
+					best = platform.ProcID(p)
+				}
 			}
-			row[p] = ms
-			sum += ms
-			if ms < row[best] {
-				best = platform.ProcID(p)
-			}
+			c.best[id] = best
+			c.mean[id] = sum / float64(np)
 		}
-		c.best[id] = best
-		c.mean[id] = sum / float64(np)
+	})
+	if err := firstLaneError(errs); err != nil {
+		return nil, err
 	}
 	return c, nil
 }
@@ -159,14 +207,39 @@ func (c *Costs) System() *platform.System { return c.sys }
 func (c *Costs) Config() CostConfig { return c.cfg }
 
 // Exec returns the execution time in ms of kernel k on processor p.
+//
+//apt:hotpath
 func (c *Costs) Exec(k dfg.KernelID, p platform.ProcID) float64 {
+	if c.exec32 != nil {
+		return float64(c.exec32[int(k)*c.np+int(p)])
+	}
 	return c.exec[int(k)*c.np+int(p)]
 }
 
 // ExecRow returns kernel k's execution times across all processors,
-// indexed by ProcID. The slice aliases the flat cost table; do not modify.
+// indexed by ProcID. With float64 storage (the default) the slice aliases
+// the flat cost table — do not modify. With Float32Exec storage the row is
+// widened into a fresh slice per call; allocation-sensitive callers on
+// compact tables should prefer AppendExecRow with a reused buffer.
 func (c *Costs) ExecRow(k dfg.KernelID) []float64 {
+	if c.exec32 != nil {
+		return c.AppendExecRow(make([]float64, 0, c.np), k)
+	}
 	return c.exec[int(k)*c.np : int(k+1)*c.np]
+}
+
+// AppendExecRow appends kernel k's execution times across all processors
+// (indexed by ProcID, same values as ExecRow) to buf and returns the
+// extended slice. With a reused buffer the query is allocation-free on both
+// storages.
+func (c *Costs) AppendExecRow(buf []float64, k dfg.KernelID) []float64 {
+	if c.exec32 != nil {
+		for _, v := range c.exec32[int(k)*c.np : int(k+1)*c.np] {
+			buf = append(buf, float64(v))
+		}
+		return buf
+	}
+	return append(buf, c.exec[int(k)*c.np:int(k+1)*c.np]...)
 }
 
 // MeanExec returns the mean execution time of kernel k across all
@@ -175,25 +248,28 @@ func (c *Costs) MeanExec(k dfg.KernelID) float64 { return c.mean[k] }
 
 // BestProc returns the processor with the minimum execution time for k
 // (the paper's pmin) and that minimum time. Ties break to the lower ID.
+//
+//apt:hotpath
 func (c *Costs) BestProc(k dfg.KernelID) (platform.ProcID, float64) {
 	p := c.best[k]
-	return p, c.exec[int(k)*c.np+int(p)]
+	return p, c.Exec(k, p)
 }
 
 // rankedRow returns kernel k's ascending-execution-time processor order
-// from the lazily built flat table (ties by ID). The first call pays one
-// O(n·P log P) pass; later calls are a slice expression.
-func (c *Costs) rankedRow(k dfg.KernelID) []platform.ProcID {
+// from the lazily built flat table (ties by ID), as quantised uint16
+// processor indices. The first call pays one O(n·P log P) pass; later calls
+// are a slice expression.
+func (c *Costs) rankedRow(k dfg.KernelID) []uint16 {
 	c.rankOnce.Do(func() {
 		n := c.g.NumKernels()
 		np := c.np
-		ranked := make([]platform.ProcID, n*np)
+		ranked := make([]uint16, n*np)
 		for id := 0; id < n; id++ {
 			out := ranked[id*np : (id+1)*np]
 			for i := range out {
-				out[i] = platform.ProcID(i)
+				out[i] = uint16(i)
 			}
-			row := c.exec[id*np : (id+1)*np]
+			exec := func(p uint16) float64 { return c.Exec(dfg.KernelID(id), platform.ProcID(p)) }
 			// Insertion sort: np is small (3 in the paper's system, a few
 			// hundred at most for the scale machines).
 			for i := 1; i < np; i++ {
@@ -201,10 +277,10 @@ func (c *Costs) rankedRow(k dfg.KernelID) []platform.ProcID {
 					a, b := out[j-1], out[j]
 					// Three-way cost comparison (no float equality):
 					// exact ties order by processor ID.
-					if row[a] < row[b] {
+					if exec(a) < exec(b) {
 						break
 					}
-					if row[b] < row[a] || b < a {
+					if exec(b) < exec(a) || b < a {
 						out[j-1], out[j] = b, a
 					} else {
 						break
@@ -229,7 +305,10 @@ func (c *Costs) RankedProcs(k dfg.KernelID) []platform.ProcID {
 // with a reused buffer the query is allocation-free after the table's
 // one-time lazy build.
 func (c *Costs) AppendRankedProcs(buf []platform.ProcID, k dfg.KernelID) []platform.ProcID {
-	return append(buf, c.rankedRow(k)...)
+	for _, p := range c.rankedRow(k) {
+		buf = append(buf, platform.ProcID(p))
+	}
+	return buf
 }
 
 // TransferMs returns the time to move elems elements across the directed

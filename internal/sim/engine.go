@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/dfg"
 	"repro/internal/heaps"
@@ -85,6 +86,12 @@ type Options struct {
 	// estimates (Costs, BusyUntil) stay nominal, the same split as
 	// ActualCosts. Nil means the platform never degrades.
 	Degrade Degradation
+	// Lanes sets the parallel lane count for the trajectory-independent
+	// phases the engine runs after the event loop (latency-array fill and
+	// sorting; see lanes.go — the event trajectory itself is inherently
+	// sequential). 0 or 1 runs serial, > 1 uses that many lanes, < 0 one
+	// lane per CPU. Results are byte-identical for every value.
+	Lanes int
 }
 
 // Placement records the full lifecycle of one kernel in a finished
@@ -175,8 +182,10 @@ type Result struct {
 // PlacementOf returns the placement of a kernel.
 func (r *Result) PlacementOf(k dfg.KernelID) Placement { return r.Placements[k] }
 
-// eventKind distinguishes the engine's event types.
-type eventKind int
+// eventKind distinguishes the engine's event types. 32 bits keep the event
+// struct at 24 bytes — the heap holds one event per in-flight kernel, and
+// paced million-kernel streams buffer one arrival event per kernel.
+type eventKind int32
 
 const (
 	evFinish  eventKind = iota // a kernel completed execution
@@ -404,9 +413,11 @@ type engine struct {
 	ready      []dfg.KernelID
 	readyHoles int
 	// readyIdx maps kernel ID -> its index in ready, or -1 when absent.
-	readyIdx  []int
+	// int32 like every per-kernel array: KernelIDs are 32-bit, so indices
+	// into kernel-length slices fit by construction.
+	readyIdx  []int32
 	readyAt   []float64
-	predsLeft []int
+	predsLeft []int32
 	arrived   []bool
 	assigned  []bool
 	finished  []bool
@@ -421,14 +432,24 @@ type engine struct {
 	lambdas     []float64
 	sojourns    []float64 // scratch for latency summaries, reused per run
 	qwaits      []float64
+	sortScratch []float64 // merge buffer for lane-parallel latency sorts
 	nFinished   int
 	selectCalls int
 	assignments int
+
+	// arena slab-allocates the escaping placement blocks; see slab.go.
+	arena placementArena
 
 	// placeFn resolves a predecessor's processor for transfer pricing. It is
 	// built once per engine (not per start call) so the hot path does not
 	// allocate a closure per kernel launch.
 	placeFn func(dfg.KernelID) platform.ProcID
+
+	// latFn fills the latency arrays for one lane chunk. Like placeFn it is
+	// built once per engine and captures only e, so warm runs do not pay a
+	// closure allocation per result() call; it reads e.sojourns/e.qwaits,
+	// which result() sizes before fanning out.
+	latFn func(c laneChunk)
 }
 
 func (e *engine) readyLen() int { return len(e.ready) - e.readyHoles }
@@ -437,7 +458,7 @@ func (e *engine) readyLen() int { return len(e.ready) - e.readyHoles }
 //
 //apt:hotpath
 func (e *engine) pushReady(k dfg.KernelID) {
-	e.readyIdx[k] = len(e.ready)
+	e.readyIdx[k] = int32(len(e.ready))
 	e.ready = append(e.ready, k)
 }
 
@@ -463,7 +484,7 @@ func (e *engine) compactReady() {
 	live := e.ready[:0]
 	for _, k := range e.ready {
 		if k >= 0 {
-			e.readyIdx[k] = len(live)
+			e.readyIdx[k] = int32(len(live))
 			live = append(live, k)
 		}
 	}
@@ -529,7 +550,7 @@ func (r *Runner) Run(c *Costs, pol Policy, opt Options) (*Result, error) {
 	g := c.g
 	n := g.NumKernels()
 	for id := 0; id < n; id++ {
-		e.predsLeft[id] = g.InDegree(dfg.KernelID(id))
+		e.predsLeft[id] = int32(g.InDegree(dfg.KernelID(id)))
 		arrival := 0.0
 		if len(opt.ArrivalTimes) > 0 {
 			arrival = opt.ArrivalTimes[id]
@@ -626,16 +647,41 @@ func (e *engine) reset(c, actual *Costs, pol Policy, opt Options) {
 		e.placeFn = func(pred dfg.KernelID) platform.ProcID { return e.procOf[pred] }
 	}
 
-	// Placements escape into the Result, so they are always fresh.
-	e.placements = make([]Placement, n)
+	// Placements escape into the Result, so each run gets a block no other
+	// run will ever touch — slab-carved rather than allocated, so repeated
+	// small runs share one arena allocation (see slab.go).
+	e.placements = e.arena.alloc(n)
 }
+
+// runnerPool recycles Runners across package-level Run calls. Results never
+// alias pooled state — placements are slab-carved blocks handed out exactly
+// once (see slab.go) and everything else escaping is freshly built — so
+// pooling only changes how often the engine's internal buffers are rebuilt,
+// never what a run returns.
+var runnerPool = sync.Pool{New: func() any { return NewRunner() }}
 
 // Run simulates graph execution under the policy and returns the metrics.
 // The cost oracle must have been prepared for the same graph the policy
-// will schedule. For many runs, prefer a Runner (or RunBatch), which reuses
-// engine state.
+// will schedule. Run draws a warm Runner from an internal pool, so repeated
+// calls cost little more than Runner reuse; callers wanting explicit
+// control (or single-goroutine cheapness) can still hold their own Runner,
+// and RunBatch gives every worker one.
 func Run(c *Costs, pol Policy, opt Options) (*Result, error) {
-	return NewRunner().Run(c, pol, opt)
+	r := runnerPool.Get().(*Runner)
+	res, err := r.Run(c, pol, opt)
+	r.release()
+	runnerPool.Put(r)
+	return res, err
+}
+
+// release drops the engine's references to caller-owned inputs (costs,
+// policy, options) so a pooled Runner never pins a graph or cost table
+// alive. Internal buffers are deliberately kept: they are the point of
+// pooling.
+func (r *Runner) release() {
+	e := &r.e
+	e.costs, e.actual, e.pol = nil, nil, nil
+	e.opt = Options{}
 }
 
 // arrive marks a paced kernel as present in the stream.
@@ -800,10 +846,28 @@ func (e *engine) result() *Result {
 	for p := 0; p < np; p++ {
 		res.ProcStats[p].Proc = platform.ProcID(p)
 	}
+	lanes := e.opt.Lanes
+	n := len(e.placements)
+	// Latency arrays fill in parallel — disjoint indexed writes, one value
+	// per kernel — while every float accumulation below (per-processor time
+	// sums, λ totals) stays on this goroutine in kernel-ID order: float
+	// addition does not reassociate, and lane counts must never change
+	// output bytes (see lanes.go).
+	e.sojourns = grow(e.sojourns, n)
+	e.qwaits = grow(e.qwaits, n)
+	if e.latFn == nil {
+		e.latFn = func(c laneChunk) {
+			for i := c.lo; i < c.hi; i++ {
+				pl := &e.placements[i]
+				e.sojourns[i] = pl.Sojourn()
+				e.qwaits[i] = pl.QueueWait()
+			}
+		}
+	}
+	parallelChunks(n, lanes, e.latFn)
+	sojourns, qwaits := e.sojourns, e.qwaits
 	var makespan float64
 	lambdas := e.lambdas[:0]
-	sojourns := e.sojourns[:0]
-	qwaits := e.qwaits[:0]
 	for i := range e.placements {
 		pl := &e.placements[i]
 		if pl.Finish > makespan {
@@ -816,16 +880,22 @@ func (e *engine) result() *Result {
 		if l := pl.Lambda(); l > 0 {
 			lambdas = append(lambdas, l)
 		}
-		sojourns = append(sojourns, pl.Sojourn())
-		qwaits = append(qwaits, pl.QueueWait())
 	}
 	e.lambdas = lambdas
-	// SummarizeInPlace sorts the scratch buffers; only the scalar summaries
-	// escape into the Result, so warm runs stay allocation-lean.
-	res.Sojourn = stats.SummarizeInPlace(sojourns)
-	res.QueueWait = stats.SummarizeInPlace(qwaits)
-	e.sojourns = sojourns
-	e.qwaits = qwaits
+	// The sorts behind the latency summaries are the expensive half of
+	// result assembly at scale; they shard across lanes and merge
+	// deterministically (sorted output is a pure function of the multiset).
+	// Only the scalar summaries escape into the Result, so warm runs stay
+	// allocation-lean.
+	// The sorted/spare returns rotate backing arrays between the latency
+	// scratches and the merge scratch, so each buffer keeps exactly one
+	// owner and nothing aliases across runs.
+	sorted, spare := parallelSortFloat64s(sojourns, e.sortScratch, lanes)
+	res.Sojourn = stats.SummarizeSorted(sorted)
+	e.sojourns, e.sortScratch = sorted, spare
+	sorted, spare = parallelSortFloat64s(qwaits, e.sortScratch, lanes)
+	res.QueueWait = stats.SummarizeSorted(sorted)
+	e.qwaits, e.sortScratch = sorted, spare
 	res.MakespanMs = makespan
 	for p := range res.ProcStats {
 		st := &res.ProcStats[p]
@@ -853,62 +923,152 @@ func (e *engine) result() *Result {
 // the latest finish. It exists for tests and for downstream users embedding
 // custom policies.
 func (r *Result) Validate(g *dfg.Graph, sys *platform.System) error {
+	return r.ValidateLanes(g, sys, 1)
+}
+
+// ValidateLanes is Validate fanned out over the given number of parallel
+// lanes (0 or 1 serial, < 0 one per CPU). The per-kernel lifecycle checks shard
+// across kernel-index chunks and the per-processor occupancy scans across
+// processors; both report the same first error the serial walk would, for
+// any lane count (see lanes.go). The occupancy index is a counting sort
+// into one int32 slice — 4 bytes per kernel — instead of the former
+// map-of-placement-slices, which copied every 64-byte Placement once and
+// was the validation pass's dominant allocation at 100k+ kernels.
+func (r *Result) ValidateLanes(g *dfg.Graph, sys *platform.System, lanes int) error {
 	n := g.NumKernels()
 	if len(r.Placements) != n {
 		return fmt.Errorf("sim: %d placements for %d kernels", len(r.Placements), n)
 	}
+	if n == 0 {
+		return nil
+	}
+	np := sys.NumProcs()
 	// Tolerances scale with the magnitudes involved: at 100k-kernel scale
 	// simulated times reach 1e7–1e8 ms, where one double-precision ulp
 	// already exceeds a fixed 1e-9 (e.g. λ on the best processor computes
 	// (ready+exec)−ready−exec, which rounds to ±ulp(finish), not ±1e-9).
 	eps := func(at float64) float64 { return 1e-9 * (1 + math.Abs(at)) }
-	byProc := make(map[platform.ProcID][]Placement)
-	var maxFinish float64
-	for i := range r.Placements {
-		pl := r.Placements[i]
-		if int(pl.Kernel) != i {
-			return fmt.Errorf("sim: placement %d records kernel %d", i, pl.Kernel)
-		}
-		if pl.Proc < 0 || int(pl.Proc) >= sys.NumProcs() {
-			return fmt.Errorf("sim: kernel %d placed on unknown processor %d", i, pl.Proc)
-		}
-		// Note: pl.Assign may precede pl.Ready — static policies commit
-		// kernels before their dependencies finish; that is legal.
-		if pl.TransferStart < pl.Assign-eps(pl.Assign) {
-			return fmt.Errorf("sim: kernel %d transfer (%v) before assignment (%v)", i, pl.TransferStart, pl.Assign)
-		}
-		if pl.ExecStart < pl.TransferStart-eps(pl.TransferStart) || pl.Finish < pl.ExecStart-eps(pl.ExecStart) {
-			return fmt.Errorf("sim: kernel %d has non-monotonic lifecycle %+v", i, pl)
-		}
-		if pl.Lambda() < -eps(pl.Finish) {
-			return fmt.Errorf("sim: kernel %d has negative λ %v", i, pl.Lambda())
-		}
-		for _, pred := range g.Preds(pl.Kernel) {
-			if r.Placements[pred].Finish > pl.TransferStart+eps(pl.TransferStart) {
-				return fmt.Errorf("sim: kernel %d starts transfers at %v before predecessor %d finishes at %v",
-					i, pl.TransferStart, pred, r.Placements[pred].Finish)
+
+	chunks := laneChunks(n, lanes)
+	nl := len(chunks)
+	errs := make([]laneError, nl)
+	laneMax := make([]float64, nl)
+	// perLane[lane*np+p] counts lane-local kernels on processor p; the
+	// prefix pass below turns the columns into per-lane write cursors so
+	// every lane can fill its slice of the occupancy index without locks —
+	// each lane holds a private reservation of every processor's bucket.
+	perLane := make([]int32, nl*np)
+	parallelChunks(n, lanes, func(c laneChunk) {
+		counts := perLane[c.lane*np : (c.lane+1)*np]
+		var maxFinish float64
+		for i := c.lo; i < c.hi; i++ {
+			pl := &r.Placements[i]
+			if int(pl.Kernel) != i {
+				errs[c.lane] = laneError{at: i, err: fmt.Errorf("sim: placement %d records kernel %d", i, pl.Kernel)}
+				return
+			}
+			if pl.Proc < 0 || int(pl.Proc) >= np {
+				errs[c.lane] = laneError{at: i, err: fmt.Errorf("sim: kernel %d placed on unknown processor %d", i, pl.Proc)}
+				return
+			}
+			// Note: pl.Assign may precede pl.Ready — static policies commit
+			// kernels before their dependencies finish; that is legal.
+			if pl.TransferStart < pl.Assign-eps(pl.Assign) {
+				errs[c.lane] = laneError{at: i, err: fmt.Errorf("sim: kernel %d transfer (%v) before assignment (%v)", i, pl.TransferStart, pl.Assign)}
+				return
+			}
+			if pl.ExecStart < pl.TransferStart-eps(pl.TransferStart) || pl.Finish < pl.ExecStart-eps(pl.ExecStart) {
+				errs[c.lane] = laneError{at: i, err: fmt.Errorf("sim: kernel %d has non-monotonic lifecycle %+v", i, *pl)}
+				return
+			}
+			if pl.Lambda() < -eps(pl.Finish) {
+				errs[c.lane] = laneError{at: i, err: fmt.Errorf("sim: kernel %d has negative λ %v", i, pl.Lambda())}
+				return
+			}
+			for _, pred := range g.Preds(pl.Kernel) {
+				if r.Placements[pred].Finish > pl.TransferStart+eps(pl.TransferStart) {
+					errs[c.lane] = laneError{at: i, err: fmt.Errorf("sim: kernel %d starts transfers at %v before predecessor %d finishes at %v",
+						i, pl.TransferStart, pred, r.Placements[pred].Finish)}
+					return
+				}
+			}
+			counts[pl.Proc]++
+			if pl.Finish > maxFinish {
+				maxFinish = pl.Finish
 			}
 		}
-		byProc[pl.Proc] = append(byProc[pl.Proc], pl)
-		if pl.Finish > maxFinish {
-			maxFinish = pl.Finish
+		laneMax[c.lane] = maxFinish
+	})
+	if err := firstLaneError(errs); err != nil {
+		return err
+	}
+	var maxFinish float64
+	for _, m := range laneMax { // float max is exact: no rounding, any merge order
+		if m > maxFinish {
+			maxFinish = m
 		}
 	}
-	if n > 0 && math.Abs(maxFinish-r.MakespanMs) > math.Max(1e-6, eps(maxFinish)) {
+	if math.Abs(maxFinish-r.MakespanMs) > math.Max(1e-6, eps(maxFinish)) {
 		return fmt.Errorf("sim: makespan %v != latest finish %v", r.MakespanMs, maxFinish)
 	}
-	// Walk processors in ID order rather than ranging the map: with
-	// several overlap violations the reported one must not depend on map
-	// iteration order.
-	for p := 0; p < sys.NumProcs(); p++ {
-		pls := byProc[platform.ProcID(p)]
-		sort.Slice(pls, func(i, j int) bool { return pls[i].TransferStart < pls[j].TransferStart })
-		for i := 1; i < len(pls); i++ {
-			if pls[i].TransferStart < pls[i-1].Finish-eps(pls[i-1].Finish) {
-				return fmt.Errorf("sim: processor %d overlap: kernel %d (start %v) before kernel %d finished (%v)",
-					p, pls[i].Kernel, pls[i].TransferStart, pls[i-1].Kernel, pls[i-1].Finish)
+
+	// Turn the per-lane counts into write cursors: cursor(lane, p) =
+	// bucket start of p + kernels earlier lanes put on p. Filling through
+	// these cursors is a stable counting sort — bucket entries come out in
+	// ascending kernel index for any lane count.
+	starts := make([]int32, np+1)
+	for p := 0; p < np; p++ {
+		var total int32
+		for l := 0; l < nl; l++ {
+			c := perLane[l*np+p]
+			perLane[l*np+p] = starts[p] + total
+			total += c
+		}
+		starts[p+1] = starts[p] + total
+	}
+	byProc := make([]int32, n) // occupancy index: kernel indices bucketed by processor
+	parallelChunks(n, lanes, func(c laneChunk) {
+		cursors := perLane[c.lane*np : (c.lane+1)*np]
+		for i := c.lo; i < c.hi; i++ {
+			p := r.Placements[i].Proc
+			byProc[cursors[p]] = int32(i)
+			cursors[p]++
+		}
+	})
+
+	// Per-processor occupancy: order each bucket by transfer start and scan
+	// for overlap. Buckets are independent, so they shard across lanes; the
+	// first error is deterministic because buckets are walked by (processor,
+	// position) stamp. Ties on TransferStart order by kernel index so the
+	// sort — and any reported overlap pair — is a total order.
+	// Sized by this scan's own chunk count: lanes normalise against the
+	// processor count here, not the kernel count, and np may exceed n.
+	procErrs := make([]laneError, len(laneChunks(np, lanes)))
+	parallelChunks(np, lanes, func(c laneChunk) {
+		for p := c.lo; p < c.hi; p++ {
+			if procErrs[c.lane].err != nil {
+				return
+			}
+			bucket := byProc[starts[p]:starts[p+1]]
+			sort.Slice(bucket, func(i, j int) bool {
+				a, b := &r.Placements[bucket[i]], &r.Placements[bucket[j]]
+				if a.TransferStart < b.TransferStart {
+					return true
+				}
+				if b.TransferStart < a.TransferStart {
+					return false
+				}
+				return bucket[i] < bucket[j]
+			})
+			for i := 1; i < len(bucket); i++ {
+				prev, cur := &r.Placements[bucket[i-1]], &r.Placements[bucket[i]]
+				if cur.TransferStart < prev.Finish-eps(prev.Finish) {
+					procErrs[c.lane] = laneError{at: p, err: fmt.Errorf("sim: processor %d overlap: kernel %d (start %v) before kernel %d finished (%v)",
+						p, cur.Kernel, cur.TransferStart, prev.Kernel, prev.Finish)}
+					return
+				}
 			}
 		}
-	}
-	return nil
+	})
+	return firstLaneError(procErrs)
 }
